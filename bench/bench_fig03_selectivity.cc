@@ -1,0 +1,49 @@
+// Figure 3: filter selectivity (N2/N, the fraction of stream weight that
+// reaches the underlying sketch) as a function of Zipf skew, for filter
+// sizes |F| in {8, 32, 64, 128}.
+
+#include <cstdio>
+
+#include "bench/common/bench_util.h"
+#include "src/core/asketch.h"
+
+namespace asketch {
+namespace bench {
+namespace {
+
+void Main() {
+  const double scale = ScaleFromEnv();
+  PrintBanner("Figure 3",
+              "Filter selectivity (N2/N) vs skew for |F| in "
+              "{8, 32, 64, 128}; ASketch 128KB over Count-Min.",
+              SyntheticSpec(0, scale).ToString());
+  const std::vector<uint32_t> filter_sizes = {8, 32, 64, 128};
+  std::printf("%-8s", "skew");
+  for (const uint32_t f : filter_sizes) {
+    std::printf("   |F|=%-6u", f);
+  }
+  std::printf("\n");
+  for (const double skew : SkewGrid()) {
+    const Workload workload(SyntheticSpec(skew, scale));
+    std::printf("%-8.2f", skew);
+    for (const uint32_t f : filter_sizes) {
+      ASketchConfig config;
+      config.total_bytes = 128 * 1024;
+      config.width = 8;
+      config.filter_items = f;
+      auto as = MakeASketchCountMin<RelaxedHeapFilter>(config);
+      for (const Tuple& t : workload.stream) as.Update(t.key, t.value);
+      std::printf("   %-9.4f", as.stats().FilterSelectivity());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace asketch
+
+int main() {
+  asketch::bench::Main();
+  return 0;
+}

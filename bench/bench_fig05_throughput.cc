@@ -1,0 +1,82 @@
+// Figure 5(a,b): stream-processing and query-processing throughput vs
+// Zipf skew for ASketch, FCM, Count-Min, and Holistic UDAFs (128 KB each,
+// Relaxed-Heap filter of 32 items).
+
+#include <cstdio>
+
+#include "bench/common/bench_util.h"
+#include "src/core/asketch.h"
+#include "src/sketch/count_min.h"
+#include "src/sketch/fcm.h"
+#include "src/sketch/holistic_udaf.h"
+
+namespace asketch {
+namespace bench {
+namespace {
+
+constexpr size_t kBudget = 128 * 1024;
+constexpr uint32_t kWidth = 8;
+constexpr uint32_t kFilterItems = 32;
+constexpr uint64_t kSeed = 42;
+
+struct Row {
+  double update;
+  double query;
+};
+
+template <typename T>
+Row Measure(T estimator, const Workload& workload) {
+  return Row{UpdateThroughput(estimator, workload.stream),
+             QueryThroughput(estimator, workload.queries)};
+}
+
+void Main() {
+  const double scale = ScaleFromEnv();
+  PrintBanner("Figure 5",
+              "(a) stream and (b) query throughput vs skew; 128KB "
+              "synopses, ASketch uses a Relaxed-Heap filter of 32 items.",
+              SyntheticSpec(0, scale).ToString());
+
+  std::printf("%-8s | %12s %12s %12s %12s | %12s %12s %12s %12s\n", "",
+              "---------", "(a) updates", "/ms ------", "", "---------",
+              "(b) queries", "/ms ------", "");
+  std::printf("%-8s | %12s %12s %12s %12s | %12s %12s %12s %12s\n", "skew",
+              "ASketch", "FCM", "CountMin", "H-UDAF", "ASketch", "FCM",
+              "CountMin", "H-UDAF");
+  for (const double skew : SkewGrid()) {
+    const Workload workload(SyntheticSpec(skew, scale));
+    ASketchConfig config;
+    config.total_bytes = kBudget;
+    config.width = kWidth;
+    config.filter_items = kFilterItems;
+    config.seed = kSeed;
+    const Row asketch_row =
+        Measure(MakeASketchCountMin<RelaxedHeapFilter>(config), workload);
+    const Row fcm_row = Measure(
+        Fcm(FcmConfig::FromSpaceBudget(kBudget, kWidth, kFilterItems,
+                                       kSeed)),
+        workload);
+    const Row cm_row = Measure(
+        CountMin(CountMinConfig::FromSpaceBudget(kBudget, kWidth, kSeed)),
+        workload);
+    const Row udaf_row = Measure(
+        HolisticUdaf(HolisticUdafConfig::FromSpaceBudget(
+            kBudget, kWidth, kFilterItems, kSeed)),
+        workload);
+    std::printf(
+        "%-8.2f | %12.0f %12.0f %12.0f %12.0f | %12.0f %12.0f %12.0f "
+        "%12.0f\n",
+        skew, asketch_row.update, fcm_row.update, cm_row.update,
+        udaf_row.update, asketch_row.query, fcm_row.query, cm_row.query,
+        udaf_row.query);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace asketch
+
+int main() {
+  asketch::bench::Main();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 7 + Table 4: observed error vs skew (0.8 .. 1.8) for ASketch,
+// Count-Min, and Holistic UDAFs at 128 KB; and ASketch's improvement
+// factor over Count-Min at 64 KB and 128 KB (Table 4).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common/bench_util.h"
+#include "src/core/asketch.h"
+#include "src/sketch/count_min.h"
+#include "src/sketch/holistic_udaf.h"
+
+namespace asketch {
+namespace bench {
+namespace {
+
+constexpr uint32_t kWidth = 8;
+constexpr uint32_t kFilterItems = 32;
+constexpr uint64_t kSeed = 42;
+
+double ASketchError(const Workload& workload, size_t budget) {
+  ASketchConfig config;
+  config.total_bytes = budget;
+  config.width = kWidth;
+  config.filter_items = kFilterItems;
+  config.seed = kSeed;
+  auto as = MakeASketchCountMin<RelaxedHeapFilter>(config);
+  for (const Tuple& t : workload.stream) as.Update(t.key, t.value);
+  return ObservedErrorPercent(as, workload);
+}
+
+double CountMinError(const Workload& workload, size_t budget) {
+  CountMin cm(CountMinConfig::FromSpaceBudget(budget, kWidth, kSeed));
+  for (const Tuple& t : workload.stream) cm.Update(t.key, t.value);
+  return ObservedErrorPercent(cm, workload);
+}
+
+double UdafError(const Workload& workload, size_t budget) {
+  HolisticUdaf udaf(HolisticUdafConfig::FromSpaceBudget(
+      budget, kWidth, kFilterItems, kSeed));
+  for (const Tuple& t : workload.stream) udaf.Update(t.key, t.value);
+  return ObservedErrorPercent(udaf, workload);
+}
+
+void Main() {
+  const double scale = ScaleFromEnv();
+  PrintBanner("Figure 7 + Table 4",
+              "Observed error (%) vs skew at 128KB; improvement factor of "
+              "ASketch over Count-Min at 64KB and 128KB.",
+              SyntheticSpec(0, scale).ToString());
+  std::printf("%-8s %14s %14s %14s | %16s %16s\n", "skew", "ASketch",
+              "Count-Min", "H-UDAF", "x-improve 64KB", "x-improve 128KB");
+  for (const double skew : ErrorSkewGrid()) {
+    const Workload workload(SyntheticSpec(skew, scale));
+    const double as_128 = ASketchError(workload, 128 * 1024);
+    const double cm_128 = CountMinError(workload, 128 * 1024);
+    const double udaf_128 = UdafError(workload, 128 * 1024);
+    const double as_64 = ASketchError(workload, 64 * 1024);
+    const double cm_64 = CountMinError(workload, 64 * 1024);
+    const double improve_64 = as_64 > 0 ? cm_64 / as_64 : 0;
+    const double improve_128 = as_128 > 0 ? cm_128 / as_128 : 0;
+    std::printf("%-8.1f %14.4g %14.4g %14.4g | %16.1f %16.1f\n", skew,
+                as_128, cm_128, udaf_128, improve_64, improve_128);
+  }
+  std::printf("\n(x-improve of 0.0 means the ASketch error was exactly "
+              "zero at that skew)\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace asketch
+
+int main() {
+  asketch::bench::Main();
+  return 0;
+}

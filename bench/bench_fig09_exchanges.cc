@@ -1,0 +1,46 @@
+// Figure 9: average number of filter<->sketch exchanges vs skew
+// (Relaxed-Heap filter of 32 items, ASketch 128KB).
+
+#include <cstdio>
+
+#include "bench/common/bench_util.h"
+#include "src/core/asketch.h"
+
+namespace asketch {
+namespace bench {
+namespace {
+
+void Main() {
+  const double scale = ScaleFromEnv();
+  PrintBanner("Figure 9",
+              "Number of exchanges between filter and sketch vs skew; "
+              "also the writeback count (exchanges whose evicted entry "
+              "carried exact hits).",
+              SyntheticSpec(0, scale).ToString());
+  std::printf("%-8s %14s %14s %18s\n", "skew", "exchanges", "writebacks",
+              "exchanges/N (ppm)");
+  for (const double skew : SkewGrid()) {
+    const Workload workload(SyntheticSpec(skew, scale));
+    ASketchConfig config;
+    config.total_bytes = 128 * 1024;
+    config.width = 8;
+    config.filter_items = 32;
+    auto as = MakeASketchCountMin<RelaxedHeapFilter>(config);
+    for (const Tuple& t : workload.stream) as.Update(t.key, t.value);
+    const ASketchStats& stats = as.stats();
+    std::printf("%-8.2f %14llu %14llu %18.1f\n", skew,
+                static_cast<unsigned long long>(stats.exchanges),
+                static_cast<unsigned long long>(stats.exchange_writebacks),
+                1e6 * static_cast<double>(stats.exchanges) /
+                    static_cast<double>(workload.stream.size()));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace asketch
+
+int main() {
+  asketch::bench::Main();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 11: observed error of Space Saving (both the `min` and the
+// `zero` estimate adaptations) vs ASketch and ASketch-FCM on the
+// Kosarak-like click stream, all methods at 128 KB.
+
+#include <cstdio>
+
+#include "bench/common/bench_util.h"
+#include "src/core/asketch.h"
+#include "src/sketch/space_saving.h"
+#include "src/workload/trace_simulators.h"
+
+namespace asketch {
+namespace bench {
+namespace {
+
+constexpr size_t kBudget = 128 * 1024;
+
+template <typename T>
+void Run(const char* name, T estimator, const Workload& workload) {
+  for (const Tuple& t : workload.stream) {
+    estimator.Update(t.key, t.value);
+  }
+  std::printf("%-22s %18.4g\n", name,
+              ObservedErrorPercent(estimator, workload));
+}
+
+void Main() {
+  const double scale = ScaleFromEnv();
+  const Workload workload(KosarakLikeSpec(0.5 * scale));
+  PrintBanner("Figure 11",
+              "Observed error (%) on the Kosarak-like stream: ASketch vs "
+              "Space Saving adapted to frequency estimation.",
+              workload.spec.ToString());
+  std::printf("%-22s %18s\n", "method", "observed err (%)");
+
+  ASketchConfig config;
+  config.total_bytes = kBudget;
+  config.width = 8;
+  config.filter_items = 32;
+  Run("ASketch", MakeASketchCountMin<RelaxedHeapFilter>(config), workload);
+  Run("ASketch-FCM", MakeASketchFcm<RelaxedHeapFilter>(config), workload);
+  const uint32_t ss_items =
+      static_cast<uint32_t>(kBudget / SpaceSaving::BytesPerItem());
+  Run("SpaceSaving(min)",
+      SpaceSaving(ss_items, SpaceSavingEstimateMode::kMin), workload);
+  Run("SpaceSaving(zero)",
+      SpaceSaving(ss_items, SpaceSavingEstimateMode::kZero), workload);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace asketch
+
+int main() {
+  asketch::bench::Main();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 13: SPMD scalability — aggregate throughput of ASketch and
+// Count-Min counting kernels as the number of kernels grows (the paper
+// used a 32-core Sandy Bridge; each kernel owns a 128 KB synopsis and a
+// private sub-stream).
+//
+// On a single-core host the kernels time-share one CPU, so the aggregate
+// curve is flat instead of linear — the bench still drives the real
+// multi-threaded kernel group and prints per-kernel-count numbers.
+
+#include <cstdio>
+#include <thread>
+
+#include "bench/common/bench_util.h"
+#include "src/core/spmd_group.h"
+
+namespace asketch {
+namespace bench {
+namespace {
+
+void Main() {
+  const double scale = ScaleFromEnv();
+  // The paper's Fig. 13 stream: 1B tuples over 100M keys at skew 1.5;
+  // scaled to 8M/0.8M at scale 1.
+  StreamSpec spec;
+  spec.stream_size = static_cast<uint64_t>(8'000'000 * scale);
+  spec.num_distinct = static_cast<uint32_t>(800'000 * scale);
+  spec.skew = 1.5;
+  spec.seed = 7;
+  PrintBanner(
+      "Figure 13",
+      "SPMD counting kernels: aggregate update throughput vs kernel "
+      "count (each kernel 128KB). Host hardware threads: " +
+          std::to_string(std::thread::hardware_concurrency()) + ".",
+      spec.ToString());
+  const std::vector<Tuple> stream = GenerateStream(spec);
+
+  std::printf("%-10s %22s %22s %12s\n", "kernels", "ASketch (items/ms)",
+              "Count-Min (items/ms)", "AS/CM");
+  for (const uint32_t kernels : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    ASketchConfig config;
+    config.total_bytes = 128 * 1024;
+    config.width = 8;
+    config.filter_items = 32;
+    SpmdAsketchGroup as_group(kernels, config);
+    Stopwatch as_timer;
+    as_group.Process(stream);
+    const double as_thpt =
+        static_cast<double>(stream.size()) / as_timer.ElapsedMillis();
+
+    SpmdCountMinGroup cm_group(
+        kernels, CountMinConfig::FromSpaceBudget(128 * 1024, 8, 42));
+    Stopwatch cm_timer;
+    cm_group.Process(stream);
+    const double cm_thpt =
+        static_cast<double>(stream.size()) / cm_timer.ElapsedMillis();
+
+    std::printf("%-10u %22.0f %22.0f %12.2f\n", kernels, as_thpt, cm_thpt,
+                as_thpt / cm_thpt);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace asketch
+
+int main() {
+  asketch::bench::Main();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Figure 14 + Table 6: the four filter implementations compared — stream
+// throughput across skews (Fig. 14) and observed error at skew 1.5
+// (Table 6). All ASketch instances are 128 KB with a 0.4 KB filter
+// budget; the Stream-Summary filter's heavy per-item overhead means it
+// monitors far fewer items within that budget, which is exactly the
+// paper's point.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common/bench_util.h"
+#include "src/core/asketch.h"
+
+namespace asketch {
+namespace bench {
+namespace {
+
+constexpr size_t kBudget = 128 * 1024;
+constexpr size_t kFilterBudgetBytes = 410;  // ~0.4 KB
+
+template <typename FilterT>
+ASketch<FilterT, CountMin> Make() {
+  ASketchConfig config;
+  config.total_bytes = kBudget;
+  config.width = 8;
+  config.filter_items = static_cast<uint32_t>(
+      std::max<size_t>(1, kFilterBudgetBytes / FilterT::BytesPerItem()));
+  config.seed = 42;
+  return MakeASketchCountMin<FilterT>(config);
+}
+
+void Main() {
+  const double scale = ScaleFromEnv();
+  PrintBanner("Figure 14 + Table 6",
+              "The four filter designs under the same 0.4KB filter "
+              "budget (items monitored: Vector/Heaps 34, Stream-Summary "
+              "9 due to pointer overhead).",
+              SyntheticSpec(0, scale).ToString());
+
+  std::printf("--- Figure 14: stream throughput (items/ms) vs skew ---\n");
+  std::printf("%-8s %14s %14s %14s %16s\n", "skew", "Vector",
+              "Strict-Heap", "Relaxed-Heap", "Stream-Summary");
+  for (const double skew : SkewGrid()) {
+    const Workload workload(SyntheticSpec(skew, scale));
+    auto vector_as = Make<VectorFilter>();
+    auto strict_as = Make<StrictHeapFilter>();
+    auto relaxed_as = Make<RelaxedHeapFilter>();
+    auto summary_as = Make<StreamSummaryFilter>();
+    std::printf("%-8.2f %14.0f %14.0f %14.0f %16.0f\n", skew,
+                UpdateThroughput(vector_as, workload.stream),
+                UpdateThroughput(strict_as, workload.stream),
+                UpdateThroughput(relaxed_as, workload.stream),
+                UpdateThroughput(summary_as, workload.stream));
+  }
+
+  std::printf("\n--- Table 6: observed error (%%) at skew 1.5 ---\n");
+  const Workload workload(SyntheticSpec(1.5, scale));
+  std::printf("%-18s %10s %18s\n", "filter", "items", "observed err (%)");
+  {
+    auto as = Make<StreamSummaryFilter>();
+    for (const Tuple& t : workload.stream) as.Update(t.key, t.value);
+    std::printf("%-18s %10u %18.4g\n", "Stream-Summary",
+                as.filter().capacity(),
+                ObservedErrorPercent(as, workload));
+  }
+  {
+    auto as = Make<VectorFilter>();
+    for (const Tuple& t : workload.stream) as.Update(t.key, t.value);
+    std::printf("%-18s %10u %18.4g\n", "Vector", as.filter().capacity(),
+                ObservedErrorPercent(as, workload));
+  }
+  {
+    auto as = Make<RelaxedHeapFilter>();
+    for (const Tuple& t : workload.stream) as.Update(t.key, t.value);
+    std::printf("%-18s %10u %18.4g\n", "Relaxed-Heap",
+                as.filter().capacity(),
+                ObservedErrorPercent(as, workload));
+  }
+  {
+    auto as = Make<StrictHeapFilter>();
+    for (const Tuple& t : workload.stream) as.Update(t.key, t.value);
+    std::printf("%-18s %10u %18.4g\n", "Strict-Heap",
+                as.filter().capacity(),
+                ObservedErrorPercent(as, workload));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace asketch
+
+int main() {
+  asketch::bench::Main();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 15(a,b): sensitivity to the filter size — stream throughput and
+// observed error as the filter grows from 0.1 KB (8 items) to 12 KB
+// (1024 items) inside a fixed 128 KB ASketch (Relaxed-Heap filter,
+// Zipf 1.5). The plain Count-Min is printed as the reference point.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common/bench_util.h"
+#include "src/core/asketch.h"
+#include "src/sketch/count_min.h"
+
+namespace asketch {
+namespace bench {
+namespace {
+
+constexpr size_t kBudget = 128 * 1024;
+constexpr uint32_t kWidth = 8;
+constexpr uint64_t kSeed = 42;
+
+void Main() {
+  const double scale = ScaleFromEnv();
+  const Workload workload(SyntheticSpec(1.5, scale));
+  PrintBanner("Figure 15",
+              "Filter-size sensitivity at Zipf 1.5: throughput and "
+              "observed error for filter sizes 0.1KB..12KB inside 128KB.",
+              workload.spec.ToString());
+
+  std::printf("%-12s %10s %16s %18s %12s\n", "filter size", "items",
+              "updates/ms", "observed err (%)", "exchanges");
+  {
+    CountMin cm(CountMinConfig::FromSpaceBudget(kBudget, kWidth, kSeed));
+    const double thpt = UpdateThroughput(cm, workload.stream);
+    std::printf("%-12s %10s %16.0f %18.4g %12s\n", "CMS (none)", "-",
+                thpt, ObservedErrorPercent(cm, workload), "-");
+  }
+  for (const uint32_t items : {8u, 16u, 32u, 64u, 128u, 256u, 512u,
+                               1024u}) {
+    ASketchConfig config;
+    config.total_bytes = kBudget;
+    config.width = kWidth;
+    config.filter_items = items;
+    config.seed = kSeed;
+    auto as = MakeASketchCountMin<RelaxedHeapFilter>(config);
+    const double thpt = UpdateThroughput(as, workload.stream);
+    const double error = ObservedErrorPercent(as, workload);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.1fKB",
+                  items * RelaxedHeapFilter::BytesPerItem() / 1024.0);
+    std::printf("%-12s %10u %16.0f %18.4g %12llu\n", label, items, thpt,
+                error,
+                static_cast<unsigned long long>(as.stats().exchanges));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace asketch
+
+int main() {
+  asketch::bench::Main();
+  return 0;
+}

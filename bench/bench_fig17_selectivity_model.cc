@@ -1,0 +1,51 @@
+// Figure 17 (Appendix): predicted vs achieved filter selectivity. The
+// prediction is the analytic Zipf tail mass 1 - TopKMass(|F|); the
+// achieved value is the fraction of stream weight the sketch actually
+// processed (N2/N from the ASketch stats counters).
+
+#include <cstdio>
+
+#include "bench/common/bench_util.h"
+#include "src/core/asketch.h"
+
+namespace asketch {
+namespace bench {
+namespace {
+
+void Main() {
+  const double scale = ScaleFromEnv();
+  PrintBanner("Figure 17 (Appendix)",
+              "Predicted (analytic Zipf tail mass beyond the top-32) vs "
+              "achieved (measured N2/N) filter selectivity.",
+              SyntheticSpec(0, scale).ToString());
+  std::printf("%-8s %14s %14s %12s\n", "skew", "predicted", "achieved",
+              "|delta|");
+  for (const double skew : SkewGrid()) {
+    const StreamSpec spec = SyntheticSpec(skew, scale);
+    const ZipfDistribution zipf(spec.num_distinct, skew);
+    const double predicted = 1.0 - zipf.TopKMass(32);
+    ASketchConfig config;
+    config.total_bytes = 128 * 1024;
+    config.width = 8;
+    config.filter_items = 32;
+    auto as = MakeASketchCountMin<RelaxedHeapFilter>(config);
+    ZipfStreamGenerator gen(spec);
+    for (uint64_t i = 0; i < spec.stream_size; ++i) {
+      const Tuple t = gen.Next();
+      as.Update(t.key, t.value);
+    }
+    const double achieved = as.stats().FilterSelectivity();
+    std::printf("%-8.2f %14.4f %14.4f %12.4f\n", skew, predicted,
+                achieved, achieved > predicted ? achieved - predicted
+                                               : predicted - achieved);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace asketch
+
+int main() {
+  asketch::bench::Main();
+  return 0;
+}

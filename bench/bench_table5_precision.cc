@@ -1,0 +1,64 @@
+// Table 5: precision-at-k of ASketch's top-k frequent-items query (k =
+// the filter capacity, 32) across skews.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common/bench_util.h"
+#include "src/core/asketch.h"
+#include "src/sketch/space_saving.h"
+#include "src/sketch/topk_sketch.h"
+
+namespace asketch {
+namespace bench {
+namespace {
+
+constexpr uint32_t kTopK = 32;
+
+void Main() {
+  const double scale = ScaleFromEnv();
+  PrintBanner("Table 5",
+              "Precision-at-k of ASketch's filter-based top-k report "
+              "(paper's table), extended with the two same-space "
+              "baselines of §2: Count-Min + candidate heap and Space "
+              "Saving. All 128KB.",
+              SyntheticSpec(0, scale).ToString());
+  std::printf("%-8s %16s %16s %16s\n", "skew", "ASketch", "CMS+heap",
+              "SpaceSaving");
+  for (const double skew : {0.2, 0.4, 0.6, 0.8, 1.0, 1.5, 2.0, 3.0}) {
+    const Workload workload(SyntheticSpec(skew, scale));
+    ASketchConfig config;
+    config.total_bytes = 128 * 1024;
+    config.width = 8;
+    config.filter_items = kTopK;
+    auto as = MakeASketchCountMin<RelaxedHeapFilter>(config);
+    TopKCountMin topk =
+        TopKCountMin::FromSpaceBudget(128 * 1024, 8, kTopK, 42);
+    SpaceSaving ss(static_cast<uint32_t>(128 * 1024 /
+                                         SpaceSaving::BytesPerItem()));
+    for (const Tuple& t : workload.stream) {
+      as.Update(t.key, t.value);
+      topk.Update(t.key, t.value);
+      ss.Update(t.key, t.value);
+    }
+    std::vector<item_t> as_report, topk_report, ss_report;
+    for (const FilterEntry& e : as.TopK()) as_report.push_back(e.key);
+    for (const TopKEntry& e : topk.TopK()) topk_report.push_back(e.key);
+    for (const SpaceSavingEntry& e : ss.TopK()) {
+      ss_report.push_back(e.key);
+    }
+    std::printf("%-8.1f %16.2f %16.2f %16.2f\n", skew,
+                PrecisionAtK(as_report, workload.truth, kTopK),
+                PrecisionAtK(topk_report, workload.truth, kTopK),
+                PrecisionAtK(ss_report, workload.truth, kTopK));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace asketch
+
+int main() {
+  asketch::bench::Main();
+  return 0;
+}

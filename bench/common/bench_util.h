@@ -1,0 +1,139 @@
+// Shared harness for the paper-reproduction benchmarks.
+//
+// Every bench binary regenerates one table or figure of the paper. The
+// default workload is a scaled-down version of the paper's synthetic
+// setting (32M tuples over 8M distinct keys): scale 1.0 = 4M tuples over
+// 1M keys, which keeps the full suite in minutes on one core while
+// preserving every qualitative shape. Set ASKETCH_BENCH_SCALE=8 to run the
+// paper's full sizes.
+
+#ifndef ASKETCH_BENCH_COMMON_BENCH_UTIL_H_
+#define ASKETCH_BENCH_COMMON_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/common/stopwatch.h"
+#include "src/common/types.h"
+#include "src/workload/exact_counter.h"
+#include "src/workload/metrics.h"
+#include "src/workload/query_generator.h"
+#include "src/workload/stream_generator.h"
+
+namespace asketch {
+namespace bench {
+
+/// Multiplier from ASKETCH_BENCH_SCALE (default 1.0; 8.0 reproduces the
+/// paper's full 32M/8M setting).
+inline double ScaleFromEnv() {
+  const char* env = std::getenv("ASKETCH_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double scale = std::atof(env);
+  return scale > 0 ? scale : 1.0;
+}
+
+/// The synthetic workload spec at the given skew (§7.1, scaled).
+inline StreamSpec SyntheticSpec(double skew, double scale) {
+  StreamSpec spec;
+  spec.stream_size = static_cast<uint64_t>(4'000'000 * scale);
+  spec.num_distinct =
+      static_cast<uint32_t>(static_cast<uint64_t>(1'000'000 * scale));
+  spec.skew = skew;
+  spec.seed = 7;
+  return spec;
+}
+
+/// A fully materialized benchmark workload: stream, ground truth, and a
+/// frequency-proportional query mix (the paper's query setting).
+struct Workload {
+  StreamSpec spec;
+  std::vector<Tuple> stream;
+  ExactCounter truth;
+  std::vector<item_t> queries;
+
+  explicit Workload(const StreamSpec& s)
+      : spec(s), truth(s.num_distinct) {
+    std::vector<wide_count_t> counts;
+    stream = GenerateStreamWithTruth(s, &counts);
+    for (item_t key = 0; key < s.num_distinct; ++key) {
+      if (counts[key] != 0) {
+        truth.Update(key, static_cast<delta_t>(counts[key]));
+      }
+    }
+    const uint64_t num_queries =
+        std::max<uint64_t>(200'000, s.stream_size / 4);
+    queries = GenerateQueries(stream, s.num_distinct, num_queries,
+                              QuerySampling::kFrequencyProportional,
+                              s.seed ^ 0x51);
+  }
+};
+
+/// Times a full pass of `stream` through `estimator`; returns items/ms —
+/// the paper's stream-processing-throughput metric.
+template <typename T>
+double UpdateThroughput(T& estimator, const std::vector<Tuple>& stream) {
+  Stopwatch timer;
+  for (const Tuple& t : stream) {
+    estimator.Update(t.key, t.value);
+  }
+  const double ms = timer.ElapsedMillis();
+  return static_cast<double>(stream.size()) / ms;
+}
+
+/// Times point queries; returns queries/ms. The checksum defeats
+/// dead-code elimination.
+template <typename T>
+double QueryThroughput(const T& estimator,
+                       const std::vector<item_t>& queries) {
+  Stopwatch timer;
+  uint64_t checksum = 0;
+  for (const item_t key : queries) {
+    checksum += estimator.Estimate(key);
+  }
+  const double ms = timer.ElapsedMillis();
+  // Publish the checksum so the loop cannot be optimized away.
+  static volatile uint64_t sink;
+  sink = checksum;
+  (void)sink;
+  return static_cast<double>(queries.size()) / ms;
+}
+
+/// Observed error (%) of `estimator` on the workload's query mix.
+template <typename T>
+double ObservedErrorPercent(const T& estimator, const Workload& workload) {
+  return 100.0 * ObservedError(
+                     workload.queries,
+                     [&estimator](item_t key) {
+                       return estimator.Estimate(key);
+                     },
+                     workload.truth);
+}
+
+/// Prints the standard bench banner.
+inline void PrintBanner(const std::string& experiment,
+                        const std::string& description,
+                        const std::string& workload) {
+  std::printf("=== %s ===\n%s\nworkload: %s\n\n", experiment.c_str(),
+              description.c_str(), workload.c_str());
+}
+
+/// The skew grid used by the "vs skew (Zipf)" figures: 0 to 3 in steps
+/// of 0.25 at scale >= 1, coarser when scaled down hard.
+inline std::vector<double> SkewGrid() {
+  std::vector<double> skews;
+  for (double z = 0.0; z <= 3.0 + 1e-9; z += 0.25) skews.push_back(z);
+  return skews;
+}
+
+/// The narrower error-figure grid (0.8 .. 1.8, step 0.2) of Figs. 7/8/16.
+inline std::vector<double> ErrorSkewGrid() {
+  return {0.8, 1.0, 1.2, 1.4, 1.6, 1.8};
+}
+
+}  // namespace bench
+}  // namespace asketch
+
+#endif  // ASKETCH_BENCH_COMMON_BENCH_UTIL_H_

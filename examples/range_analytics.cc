@@ -1,0 +1,106 @@
+// Range analytics with the dyadic Count-Min — the "hierarchical data
+// structure" companion of §2, applied to a latency-monitoring scenario.
+//
+//   $ ./range_analytics
+//
+// Scenario: a service emits one tuple per request keyed by its latency
+// in microseconds (a 20-bit domain, up to ~1s). The dyadic Count-Min
+// answers, from one compact summary built in a single pass:
+//   * range sums   — "how many requests took 10ms..50ms?"
+//   * quantiles    — binary search over prefix range sums
+//   * heavy values — latency values that dominate the distribution
+// All answers are one-sided (never under-count), so SLO alerts built on
+// them cannot miss.
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/random.h"
+#include "src/sketch/dyadic_count_min.h"
+
+namespace {
+
+using namespace asketch;
+
+constexpr uint32_t kDomainBits = 20;  // latencies 0 .. ~1.05s in us
+
+// Bimodal latency model: a fast path around 800us and a slow tail around
+// 45ms, plus a spike at exactly 30000us (a retry timeout).
+item_t SampleLatency(Rng& rng) {
+  const uint64_t r = rng.NextBounded(100);
+  double latency;
+  if (r < 70) {  // fast path: lognormal-ish around 800us
+    latency = 800.0 * std::exp(0.4 * (rng.NextDouble() +
+                                      rng.NextDouble() - 1.0));
+  } else if (r < 95) {  // slow path around 45ms
+    latency = 45000.0 * std::exp(0.5 * (rng.NextDouble() +
+                                        rng.NextDouble() - 1.0));
+  } else {  // retry timeout spike
+    latency = 30000.0;
+  }
+  const double clamped =
+      std::min(latency, static_cast<double>((1u << kDomainBits) - 1));
+  return static_cast<item_t>(clamped);
+}
+
+// p-quantile via binary search on prefix range sums.
+item_t Quantile(const DyadicCountMin& sketch, double p) {
+  const wide_count_t target =
+      static_cast<wide_count_t>(p * static_cast<double>(sketch.Total()));
+  item_t lo = 0, hi = (1u << kDomainBits) - 1;
+  while (lo < hi) {
+    const item_t mid = lo + (hi - lo) / 2;
+    if (sketch.RangeSum(0, mid) >= target) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+int main() {
+  DyadicCountMinConfig config;
+  config.domain_bits = kDomainBits;
+  config.width = 4;
+  config.total_bytes = 256 * 1024;
+  DyadicCountMin sketch(config);
+
+  constexpr uint64_t kRequests = 2'000'000;
+  Rng rng(2024);
+  for (uint64_t i = 0; i < kRequests; ++i) {
+    sketch.Update(SampleLatency(rng));
+  }
+  std::printf("summarized %llu requests into %zu bytes\n\n",
+              static_cast<unsigned long long>(kRequests),
+              sketch.MemoryUsageBytes());
+
+  std::printf("latency band            requests   share\n");
+  const auto band = [&sketch](const char* label, item_t lo, item_t hi) {
+    const wide_count_t count = sketch.RangeSum(lo, hi);
+    std::printf("%-22s %10llu   %5.1f%%\n", label,
+                static_cast<unsigned long long>(count),
+                100.0 * static_cast<double>(count) /
+                    static_cast<double>(sketch.Total()));
+  };
+  band("< 1ms", 0, 999);
+  band("1ms .. 10ms", 1000, 9999);
+  band("10ms .. 50ms", 10000, 49999);
+  band("50ms .. 200ms", 50000, 199999);
+  band(">= 200ms", 200000, (1u << kDomainBits) - 1);
+
+  std::printf("\nquantiles (us): p50=%u  p90=%u  p99=%u\n",
+              Quantile(sketch, 0.50), Quantile(sketch, 0.90),
+              Quantile(sketch, 0.99));
+
+  std::printf("\ndominant exact latency values (>= 1%% of traffic):\n");
+  const count_t threshold =
+      static_cast<count_t>(sketch.Total() / 100);
+  for (const RangeHeavyHitter& h : sketch.HeavyHitters(threshold)) {
+    std::printf("  %uus  x%u\n", h.key, h.estimate);
+  }
+  std::printf("(the 30000us retry-timeout spike must appear above)\n");
+  return 0;
+}

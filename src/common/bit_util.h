@@ -1,0 +1,40 @@
+// Small bit-twiddling helpers used by the hashing and filter code.
+
+#ifndef ASKETCH_COMMON_BIT_UTIL_H_
+#define ASKETCH_COMMON_BIT_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace asketch {
+
+/// Rounds `n` up to the next multiple of `m` (m > 0).
+constexpr size_t RoundUp(size_t n, size_t m) { return ((n + m - 1) / m) * m; }
+
+/// Rounds `n` down to the previous multiple of `m` (m > 0).
+constexpr size_t RoundDown(size_t n, size_t m) { return (n / m) * m; }
+
+/// True if `n` is a power of two (n > 0).
+constexpr bool IsPowerOfTwo(uint64_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// Smallest power of two >= n (n >= 1, n <= 2^63).
+constexpr uint64_t NextPowerOfTwo(uint64_t n) {
+  uint64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// 64-bit finalizer from splitmix64 / MurmurHash3. Bijective; used to
+/// decorrelate sequential ids when a full hash family is unnecessary.
+constexpr uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace asketch
+
+#endif  // ASKETCH_COMMON_BIT_UTIL_H_

@@ -1,0 +1,44 @@
+// Invariant-enforcement macros. The library does not use exceptions; broken
+// preconditions and internal invariants terminate the process with a message,
+// in the style of glog's CHECK. Recoverable misconfiguration is handled by
+// the validating factories / Config::Validate() methods instead.
+
+#ifndef ASKETCH_COMMON_CHECK_H_
+#define ASKETCH_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace asketch {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace asketch
+
+/// Aborts the process if `expr` is false. Enabled in all build types: the
+/// conditions guarded by ASKETCH_CHECK are genuine API contract violations,
+/// not debugging aids.
+#define ASKETCH_CHECK(expr)                                         \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::asketch::internal::CheckFailed(__FILE__, __LINE__, #expr);  \
+    }                                                               \
+  } while (0)
+
+/// Debug-only invariant check; compiles away in NDEBUG builds.
+#ifdef NDEBUG
+#define ASKETCH_DCHECK(expr) \
+  do {                       \
+  } while (0)
+#else
+#define ASKETCH_DCHECK(expr) ASKETCH_CHECK(expr)
+#endif
+
+#endif  // ASKETCH_COMMON_CHECK_H_

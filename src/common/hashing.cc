@@ -1,0 +1,32 @@
+#include "src/common/hashing.h"
+
+#include "src/common/random.h"
+
+namespace asketch {
+
+HashFamily::HashFamily(uint32_t rows, uint32_t range, uint64_t seed)
+    : range_(range) {
+  ASKETCH_CHECK(rows >= 1);
+  ASKETCH_CHECK(range >= 1);
+  Rng rng(seed);
+  funcs_.reserve(rows);
+  for (uint32_t i = 0; i < rows; ++i) {
+    const uint64_t a = 1 + rng.NextBounded(kMersenne61 - 1);
+    const uint64_t b = rng.NextBounded(kMersenne61);
+    funcs_.emplace_back(a, b, range);
+  }
+}
+
+SignFamily::SignFamily(uint32_t rows, uint64_t seed) {
+  ASKETCH_CHECK(rows >= 1);
+  // Distinct stream from HashFamily for the same seed.
+  Rng rng(seed ^ 0xa5a5a5a5a5a5a5a5ULL);
+  funcs_.reserve(rows);
+  for (uint32_t i = 0; i < rows; ++i) {
+    const uint64_t a = 1 + rng.NextBounded(kMersenne61 - 1);
+    const uint64_t b = rng.NextBounded(kMersenne61);
+    funcs_.emplace_back(a, b, /*range=*/2);
+  }
+}
+
+}  // namespace asketch

@@ -1,0 +1,110 @@
+// Pairwise-independent hashing for sketch rows.
+//
+// All sketches in this library use the Carter–Wegman construction
+//   h_{a,b}(x) = ((a*x + b) mod p) mod range,     p = 2^61 - 1,
+// with a in [1, p) and b in [0, p). The family is pairwise independent,
+// which is exactly the property assumed by the Count-Min analysis (and by
+// the ASketch error bounds built on top of it). The Mersenne prime allows
+// the mod-p reduction to be done with shifts and adds.
+
+#ifndef ASKETCH_COMMON_HASHING_H_
+#define ASKETCH_COMMON_HASHING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace asketch {
+
+/// The Mersenne prime 2^61 - 1 used as the hash field size.
+inline constexpr uint64_t kMersenne61 = (uint64_t{1} << 61) - 1;
+
+/// Reduces a 128-bit product modulo 2^61 - 1.
+inline uint64_t ModMersenne61(unsigned __int128 x) {
+  uint64_t lo = static_cast<uint64_t>(x & kMersenne61);
+  uint64_t hi = static_cast<uint64_t>(x >> 61);
+  uint64_t r = lo + hi;
+  if (r >= kMersenne61) r -= kMersenne61;
+  return r;
+}
+
+/// One Carter–Wegman hash function h(x) = ((a*x + b) mod p) mod range.
+class PairwiseHash {
+ public:
+  PairwiseHash() = default;
+
+  /// Constructs with explicit coefficients; a must be in [1, p),
+  /// b in [0, p), range >= 1.
+  PairwiseHash(uint64_t a, uint64_t b, uint32_t range)
+      : a_(a), b_(b), range_(range) {
+    ASKETCH_CHECK(a >= 1 && a < kMersenne61);
+    ASKETCH_CHECK(b < kMersenne61);
+    ASKETCH_CHECK(range >= 1);
+  }
+
+  /// Bucket of `key` in [0, range).
+  uint32_t operator()(uint64_t key) const {
+    unsigned __int128 prod =
+        static_cast<unsigned __int128>(a_) * key + b_;
+    return static_cast<uint32_t>(ModMersenne61(prod) % range_);
+  }
+
+  uint32_t range() const { return range_; }
+
+ private:
+  uint64_t a_ = 1;
+  uint64_t b_ = 0;
+  uint32_t range_ = 1;
+};
+
+/// A family of `rows` independent PairwiseHash functions with a common
+/// range, drawn deterministically from a seed. Sketches own one of these
+/// per row set; two sketches built from the same seed hash identically,
+/// which the SPMD query combiner and the tests rely on.
+class HashFamily {
+ public:
+  HashFamily() = default;
+
+  /// Draws `rows` functions with buckets [0, range) from `seed`.
+  HashFamily(uint32_t rows, uint32_t range, uint64_t seed);
+
+  uint32_t rows() const { return static_cast<uint32_t>(funcs_.size()); }
+  uint32_t range() const { return range_; }
+
+  /// Bucket of `key` under row `row`.
+  uint32_t Bucket(uint32_t row, uint64_t key) const {
+    ASKETCH_DCHECK(row < funcs_.size());
+    return funcs_[row](key);
+  }
+
+ private:
+  std::vector<PairwiseHash> funcs_;
+  uint32_t range_ = 1;
+};
+
+/// A family of pairwise-independent ±1 sign functions, as required by the
+/// Count Sketch estimator. Implemented as CW hashes onto {0,1} mapped to
+/// {-1,+1}.
+class SignFamily {
+ public:
+  SignFamily() = default;
+
+  /// Draws `rows` sign functions from `seed`.
+  SignFamily(uint32_t rows, uint64_t seed);
+
+  uint32_t rows() const { return static_cast<uint32_t>(funcs_.size()); }
+
+  /// Sign of `key` under row `row`: -1 or +1.
+  int32_t Sign(uint32_t row, uint64_t key) const {
+    ASKETCH_DCHECK(row < funcs_.size());
+    return funcs_[row](key) == 0 ? -1 : 1;
+  }
+
+ private:
+  std::vector<PairwiseHash> funcs_;
+};
+
+}  // namespace asketch
+
+#endif  // ASKETCH_COMMON_HASHING_H_

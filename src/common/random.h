@@ -1,0 +1,49 @@
+// Seeded pseudo-random number generation.
+//
+// The library ships its own small PRNG (xoshiro256**) instead of <random>
+// engines so that streams are reproducible across standard-library
+// implementations and cheap to fork per benchmark run. Distribution helpers
+// cover the needs of the workload generators.
+
+#ifndef ASKETCH_COMMON_RANDOM_H_
+#define ASKETCH_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "src/common/check.h"
+
+namespace asketch {
+
+/// xoshiro256** PRNG (Blackman & Vigna), seeded via splitmix64 so any
+/// 64-bit seed — including 0 — yields a well-mixed state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator deterministically from `seed`.
+  void Seed(uint64_t seed);
+
+  /// Next 64 uniformly random bits.
+  uint64_t NextU64();
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  /// multiply-shift rejection method (unbiased, no modulo).
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1]; never returns 0 (safe as a log() argument).
+  double NextDoublePositive() {
+    return static_cast<double>((NextU64() >> 11) + 1) * 0x1.0p-53;
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace asketch
+
+#endif  // ASKETCH_COMMON_RANDOM_H_

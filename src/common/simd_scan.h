@@ -1,0 +1,174 @@
+// Vectorized linear scans over small uint32 arrays.
+//
+// The ASketch filter is deliberately tiny, so lookups are linear scans:
+// on modern hardware a vectorized scan over a few cache lines beats hashed
+// lookups with their random accesses and pointer chasing (§6.1). FindKey is
+// a faithful generalization of the paper's Algorithm 3 (SSE2
+// _mm_cmpeq_epi32 + movemask + ctz) from 16 elements to any multiple of 16;
+// an AVX2 variant and a scalar fallback are provided. MinIndex implements
+// the other filter primitive, locating the smallest count.
+//
+// Arrays passed to the *Sse2/*Avx2 entry points must be padded to a
+// multiple of 16 elements; `n` is the logical element count. Padding cells
+// may hold arbitrary values: a match in the padding has a higher index than
+// any logical match (the scan reports the first match), so the `index < n`
+// check rejects it correctly.
+
+#ifndef ASKETCH_COMMON_SIMD_SCAN_H_
+#define ASKETCH_COMMON_SIMD_SCAN_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+#include "src/common/check.h"
+
+namespace asketch {
+
+/// Number of elements the vector kernels process per iteration; array
+/// capacities must be padded to a multiple of this.
+inline constexpr size_t kSimdBlockElements = 16;
+
+/// Scalar reference implementation of FindKey: index of the first element
+/// equal to `key` in ids[0, n), or -1.
+inline int32_t FindKeyScalar(const uint32_t* ids, size_t n, uint32_t key) {
+  for (size_t i = 0; i < n; ++i) {
+    if (ids[i] == key) return static_cast<int32_t>(i);
+  }
+  return -1;
+}
+
+#if defined(__SSE2__)
+/// SSE2 FindKey over an array whose *capacity* `padded` is a multiple of 16;
+/// only matches at index < n count. This is Algorithm 3 of the paper, looped
+/// over 16-element blocks.
+inline int32_t FindKeySse2(const uint32_t* ids, size_t padded, size_t n,
+                           uint32_t key) {
+  ASKETCH_DCHECK(padded % kSimdBlockElements == 0);
+  ASKETCH_DCHECK(n <= padded);
+  const __m128i needle = _mm_set1_epi32(static_cast<int32_t>(key));
+  for (size_t base = 0; base < padded; base += kSimdBlockElements) {
+    const __m128i* block =
+        reinterpret_cast<const __m128i*>(ids + base);
+    __m128i c0 = _mm_cmpeq_epi32(needle, _mm_loadu_si128(block + 0));
+    __m128i c1 = _mm_cmpeq_epi32(needle, _mm_loadu_si128(block + 1));
+    __m128i c2 = _mm_cmpeq_epi32(needle, _mm_loadu_si128(block + 2));
+    __m128i c3 = _mm_cmpeq_epi32(needle, _mm_loadu_si128(block + 3));
+    // Narrow the four 32-bit masks to one 16-bit movemask, one bit per
+    // element, exactly as in the paper's listing.
+    c0 = _mm_packs_epi32(c0, c1);
+    c2 = _mm_packs_epi32(c2, c3);
+    c0 = _mm_packs_epi16(c0, c2);
+    const int found = _mm_movemask_epi8(c0);
+    if (found != 0) {
+      const size_t index = base + static_cast<size_t>(__builtin_ctz(
+                                      static_cast<unsigned>(found)));
+      return index < n ? static_cast<int32_t>(index) : -1;
+    }
+  }
+  return -1;
+}
+#endif  // __SSE2__
+
+#if defined(__AVX2__)
+/// AVX2 FindKey: two 256-bit compares per 16-element block.
+inline int32_t FindKeyAvx2(const uint32_t* ids, size_t padded, size_t n,
+                           uint32_t key) {
+  ASKETCH_DCHECK(padded % kSimdBlockElements == 0);
+  ASKETCH_DCHECK(n <= padded);
+  const __m256i needle = _mm256_set1_epi32(static_cast<int32_t>(key));
+  for (size_t base = 0; base < padded; base += kSimdBlockElements) {
+    const __m256i lo = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(ids + base));
+    const __m256i hi = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(ids + base + 8));
+    const uint32_t mask_lo = static_cast<uint32_t>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(
+            _mm256_cmpeq_epi32(needle, lo))));
+    const uint32_t mask_hi = static_cast<uint32_t>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(
+            _mm256_cmpeq_epi32(needle, hi))));
+    const uint32_t mask = mask_lo | (mask_hi << 8);
+    if (mask != 0) {
+      const size_t index = base + static_cast<size_t>(__builtin_ctz(mask));
+      return index < n ? static_cast<int32_t>(index) : -1;
+    }
+  }
+  return -1;
+}
+#endif  // __AVX2__
+
+/// Best-available FindKey for this build. `padded` is the array capacity
+/// (multiple of 16 for the vector paths), `n` the logical size.
+inline int32_t FindKey(const uint32_t* ids, size_t padded, size_t n,
+                       uint32_t key) {
+#if defined(__AVX2__)
+  return FindKeyAvx2(ids, padded, n, key);
+#elif defined(__SSE2__)
+  return FindKeySse2(ids, padded, n, key);
+#else
+  (void)padded;
+  return FindKeyScalar(ids, n, key);
+#endif
+}
+
+/// Scalar MinIndex: index of the smallest element in counts[0, n), first
+/// occurrence on ties. n must be >= 1.
+inline size_t MinIndexScalar(const uint32_t* counts, size_t n) {
+  ASKETCH_DCHECK(n >= 1);
+  size_t best = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (counts[i] < counts[best]) best = i;
+  }
+  return best;
+}
+
+#if defined(__AVX2__)
+/// AVX2 MinIndex: finds the minimum value with vector min-reduction, then
+/// locates its first position with FindKey-style compares. counts capacity
+/// must be padded to a multiple of 16 with 0xFFFFFFFF (or any value >= the
+/// true minimum) beyond n.
+inline size_t MinIndexAvx2(const uint32_t* counts, size_t padded, size_t n) {
+  ASKETCH_DCHECK(n >= 1);
+  ASKETCH_DCHECK(padded % kSimdBlockElements == 0);
+  if (n < kSimdBlockElements) return MinIndexScalar(counts, n);
+  __m256i vmin = _mm256_set1_epi32(-1);  // all ones == UINT32_MAX
+  for (size_t base = 0; base + 8 <= n; base += 8) {
+    vmin = _mm256_min_epu32(
+        vmin, _mm256_loadu_si256(
+                  reinterpret_cast<const __m256i*>(counts + base)));
+  }
+  alignas(32) uint32_t lanes[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), vmin);
+  uint32_t min_value = lanes[0];
+  for (int i = 1; i < 8; ++i) min_value = min_value < lanes[i] ? min_value
+                                                               : lanes[i];
+  // The vector loop covered [0, n - n%8); finish the tail in scalar.
+  for (size_t i = n - n % 8; i < n; ++i) {
+    if (counts[i] < min_value) min_value = counts[i];
+  }
+  const int32_t pos = FindKeyAvx2(counts, padded, n, min_value);
+  ASKETCH_DCHECK(pos >= 0);
+  return static_cast<size_t>(pos);
+}
+#endif  // __AVX2__
+
+/// Best-available MinIndex for this build.
+inline size_t MinIndex(const uint32_t* counts, size_t padded, size_t n) {
+#if defined(__AVX2__)
+  return MinIndexAvx2(counts, padded, n);
+#else
+  (void)padded;
+  return MinIndexScalar(counts, n);
+#endif
+}
+
+}  // namespace asketch
+
+#endif  // ASKETCH_COMMON_SIMD_SCAN_H_

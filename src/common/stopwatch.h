@@ -1,0 +1,33 @@
+// Wall-clock timing helper for the benchmark harness and examples.
+
+#ifndef ASKETCH_COMMON_STOPWATCH_H_
+#define ASKETCH_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace asketch {
+
+/// Monotonic stopwatch. Started on construction; Restart() resets it.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction / Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace asketch
+
+#endif  // ASKETCH_COMMON_STOPWATCH_H_

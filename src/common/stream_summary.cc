@@ -1,0 +1,244 @@
+#include "src/common/stream_summary.h"
+
+#include "src/common/bit_util.h"
+
+namespace asketch {
+
+
+StreamSummary::StreamSummary(uint32_t capacity) : capacity_(capacity) {
+  ASKETCH_CHECK(capacity >= 1);
+  nodes_.resize(capacity);
+  buckets_.resize(capacity);
+  const size_t table_size = NextPowerOfTwo(2 * static_cast<size_t>(capacity));
+  table_.assign(table_size, kSummaryNil);
+  table_mask_ = table_size - 1;
+  Reset();
+}
+
+void StreamSummary::Reset() {
+  size_ = 0;
+  head_bucket_ = kSummaryNil;
+  // Chain all nodes and buckets into freelists through their next links.
+  free_node_ = 0;
+  for (uint32_t i = 0; i < capacity_; ++i) {
+    nodes_[i].next = (i + 1 < capacity_) ? i + 1 : kSummaryNil;
+  }
+  free_bucket_ = 0;
+  for (uint32_t i = 0; i < capacity_; ++i) {
+    buckets_[i].next = (i + 1 < capacity_) ? i + 1 : kSummaryNil;
+  }
+  std::fill(table_.begin(), table_.end(), kSummaryNil);
+}
+
+uint32_t StreamSummary::AllocNode() {
+  ASKETCH_DCHECK(free_node_ != kSummaryNil);
+  const uint32_t node = free_node_;
+  free_node_ = nodes_[node].next;
+  return node;
+}
+
+void StreamSummary::FreeNode(uint32_t node) {
+  nodes_[node].next = free_node_;
+  free_node_ = node;
+}
+
+uint32_t StreamSummary::AllocBucket(count_t count) {
+  ASKETCH_DCHECK(free_bucket_ != kSummaryNil);
+  const uint32_t bucket = free_bucket_;
+  free_bucket_ = buckets_[bucket].next;
+  buckets_[bucket].count = count;
+  buckets_[bucket].head = kSummaryNil;
+  buckets_[bucket].prev = kSummaryNil;
+  buckets_[bucket].next = kSummaryNil;
+  return bucket;
+}
+
+void StreamSummary::FreeBucket(uint32_t bucket) {
+  buckets_[bucket].next = free_bucket_;
+  free_bucket_ = bucket;
+}
+
+size_t StreamSummary::TableSlot(item_t key) const {
+  return static_cast<size_t>(Mix64(key)) & table_mask_;
+}
+
+void StreamSummary::TableInsert(item_t key, uint32_t node) {
+  size_t slot = TableSlot(key);
+  while (table_[slot] != kSummaryNil) slot = (slot + 1) & table_mask_;
+  table_[slot] = node;
+}
+
+void StreamSummary::TableErase(item_t key) {
+  size_t slot = TableSlot(key);
+  while (table_[slot] == kSummaryNil || nodes_[table_[slot]].key != key) {
+    ASKETCH_DCHECK(table_[slot] != kSummaryNil);
+    slot = (slot + 1) & table_mask_;
+  }
+  // Backward-shift deletion keeps probe sequences intact without
+  // tombstones (important: the table never degrades under churn).
+  size_t hole = slot;
+  table_[hole] = kSummaryNil;
+  size_t probe = hole;
+  while (true) {
+    probe = (probe + 1) & table_mask_;
+    const uint32_t node = table_[probe];
+    if (node == kSummaryNil) break;
+    const size_t home = TableSlot(nodes_[node].key);
+    // `node` may move into the hole iff its home slot does not lie in the
+    // (cyclic) open interval (hole, probe].
+    const bool movable = (hole <= probe)
+                             ? (home <= hole || home > probe)
+                             : (home <= hole && home > probe);
+    if (movable) {
+      table_[hole] = node;
+      table_[probe] = kSummaryNil;
+      hole = probe;
+    }
+  }
+}
+
+uint32_t StreamSummary::Find(item_t key) const {
+  size_t slot = TableSlot(key);
+  while (table_[slot] != kSummaryNil) {
+    const uint32_t node = table_[slot];
+    if (nodes_[node].key == key) return node;
+    slot = (slot + 1) & table_mask_;
+  }
+  return kSummaryNil;
+}
+
+void StreamSummary::DetachFromBucket(uint32_t node, uint32_t* anchor_prev,
+                                     uint32_t* anchor_next) {
+  Node& n = nodes_[node];
+  const uint32_t bucket = n.bucket;
+  Bucket& b = buckets_[bucket];
+  if (n.prev != kSummaryNil) {
+    nodes_[n.prev].next = n.next;
+  } else {
+    b.head = n.next;
+  }
+  if (n.next != kSummaryNil) nodes_[n.next].prev = n.prev;
+  n.prev = n.next = kSummaryNil;
+  if (b.head == kSummaryNil) {
+    // Bucket emptied: unlink and free it.
+    *anchor_prev = b.prev;
+    *anchor_next = b.next;
+    if (b.prev != kSummaryNil) {
+      buckets_[b.prev].next = b.next;
+    } else {
+      head_bucket_ = b.next;
+    }
+    if (b.next != kSummaryNil) buckets_[b.next].prev = b.prev;
+    FreeBucket(bucket);
+  } else {
+    *anchor_prev = bucket;
+    *anchor_next = bucket;
+  }
+  n.bucket = kSummaryNil;
+}
+
+void StreamSummary::AttachToBucket(uint32_t node, count_t count,
+                                   uint32_t anchor_prev,
+                                   uint32_t anchor_next) {
+  // Locate the insertion point: `after` = last bucket with count < target
+  // (nil if none) and `before` = the bucket following it (nil for the
+  // tail). Scan forward or backward from whichever anchor applies.
+  uint32_t after, before;
+  if (anchor_next != kSummaryNil && buckets_[anchor_next].count <= count) {
+    after = anchor_prev;
+    before = anchor_next;
+    while (before != kSummaryNil && buckets_[before].count < count) {
+      after = before;
+      before = buckets_[before].next;
+    }
+  } else {
+    after = anchor_prev;
+    while (after != kSummaryNil && buckets_[after].count >= count) {
+      after = buckets_[after].prev;
+    }
+    before = (after == kSummaryNil) ? head_bucket_ : buckets_[after].next;
+  }
+  uint32_t bucket;
+  if (before != kSummaryNil && buckets_[before].count == count) {
+    bucket = before;
+  } else {
+    bucket = AllocBucket(count);
+    Bucket& b = buckets_[bucket];
+    b.prev = after;
+    b.next = before;
+    if (after != kSummaryNil) {
+      buckets_[after].next = bucket;
+    } else {
+      head_bucket_ = bucket;
+    }
+    if (before != kSummaryNil) buckets_[before].prev = bucket;
+  }
+  Node& n = nodes_[node];
+  n.bucket = bucket;
+  n.prev = kSummaryNil;
+  n.next = buckets_[bucket].head;
+  if (n.next != kSummaryNil) nodes_[n.next].prev = node;
+  buckets_[bucket].head = node;
+}
+
+void StreamSummary::MoveToCount(uint32_t node, count_t new_count) {
+  ASKETCH_DCHECK(node < capacity_);
+  uint32_t anchor_prev, anchor_next;
+  DetachFromBucket(node, &anchor_prev, &anchor_next);
+  AttachToBucket(node, new_count, anchor_prev, anchor_next);
+}
+
+uint32_t StreamSummary::Insert(item_t key, count_t count, count_t aux) {
+  ASKETCH_CHECK(!Full());
+  ASKETCH_DCHECK(Find(key) == kSummaryNil);
+  const uint32_t node = AllocNode();
+  nodes_[node] = Node{key, aux, kSummaryNil, kSummaryNil, kSummaryNil};
+  AttachToBucket(node, count, /*anchor_prev=*/kSummaryNil,
+                 /*anchor_next=*/head_bucket_);
+  TableInsert(key, node);
+  ++size_;
+  return node;
+}
+
+void StreamSummary::Remove(uint32_t node) {
+  ASKETCH_DCHECK(node < capacity_);
+  TableErase(nodes_[node].key);
+  uint32_t anchor_prev, anchor_next;
+  DetachFromBucket(node, &anchor_prev, &anchor_next);
+  FreeNode(node);
+  --size_;
+}
+
+bool StreamSummary::CheckInvariants() const {
+  uint32_t counted = 0;
+  count_t prev_count = 0;
+  bool first = true;
+  for (uint32_t b = head_bucket_; b != kSummaryNil; b = buckets_[b].next) {
+    if (!first && buckets_[b].count <= prev_count) return false;
+    first = false;
+    prev_count = buckets_[b].count;
+    if (buckets_[b].head == kSummaryNil) return false;  // no empty buckets
+    if (buckets_[b].next != kSummaryNil &&
+        buckets_[buckets_[b].next].prev != b) {
+      return false;
+    }
+    uint32_t prev_node = kSummaryNil;
+    for (uint32_t n = buckets_[b].head; n != kSummaryNil;
+         n = nodes_[n].next) {
+      if (nodes_[n].prev != prev_node) return false;
+      if (nodes_[n].bucket != b) return false;
+      if (Find(nodes_[n].key) != n) return false;
+      prev_node = n;
+      ++counted;
+    }
+  }
+  if (counted != size_) return false;
+  // Table holds exactly `size_` live entries.
+  uint32_t live = 0;
+  for (uint32_t slot : table_) {
+    if (slot != kSummaryNil) ++live;
+  }
+  return live == size_;
+}
+
+}  // namespace asketch

@@ -1,0 +1,152 @@
+// Stream-Summary: the counter-sorted data structure of Metwally et al.'s
+// Space Saving algorithm (ICDT 2005).
+//
+// Maintains up to `capacity` (key, count, aux) entries with O(1) access to
+// the entry of minimum count. Entries live in "buckets" — one bucket per
+// distinct count value, kept in a doubly-linked list sorted by count —
+// and each bucket holds a doubly-linked child list of its entries. A
+// linear-probing hash table maps keys to entries. All links are 32-bit
+// indices into preallocated arrays (no per-node allocation).
+//
+// Two clients: SpaceSaving (aux = over-estimation error) and the
+// Stream-Summary variant of the ASketch filter (aux = old_count). The
+// heavy pointer structure is exactly what the paper charges this design
+// for: BytesPerItem() is ~5x the flat-array filters', so a fixed byte
+// budget monitors far fewer items (Table 6).
+
+#ifndef ASKETCH_COMMON_STREAM_SUMMARY_H_
+#define ASKETCH_COMMON_STREAM_SUMMARY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+
+namespace asketch {
+
+/// Sentinel index for "no node / no bucket".
+inline constexpr uint32_t kSummaryNil = ~uint32_t{0};
+
+/// The stream-summary structure. Node handles returned by Find()/MinNode()
+/// are stable until the node is removed or evicted.
+class StreamSummary {
+ public:
+  /// A summary monitoring at most `capacity` keys (>= 1).
+  explicit StreamSummary(uint32_t capacity);
+
+  /// Handle of `key`'s node, or kSummaryNil.
+  uint32_t Find(item_t key) const;
+
+  item_t Key(uint32_t node) const { return nodes_[node].key; }
+  count_t Count(uint32_t node) const {
+    return buckets_[nodes_[node].bucket].count;
+  }
+  count_t Aux(uint32_t node) const { return nodes_[node].aux; }
+  void SetAux(uint32_t node, count_t aux) { nodes_[node].aux = aux; }
+
+  /// Moves `node` to the bucket for count `new_count` (any direction).
+  /// The handle stays valid.
+  void MoveToCount(uint32_t node, count_t new_count);
+
+  /// Inserts (key, count, aux); key must be absent and the summary not
+  /// full. Returns the new node's handle.
+  uint32_t Insert(item_t key, count_t count, count_t aux);
+
+  /// Node with the smallest count (first inserted among ties), or
+  /// kSummaryNil when empty.
+  uint32_t MinNode() const {
+    return head_bucket_ == kSummaryNil ? kSummaryNil
+                                       : buckets_[head_bucket_].head;
+  }
+
+  /// Smallest monitored count; 0 when empty (Space Saving's convention for
+  /// the estimate of unmonitored keys before the summary fills).
+  count_t MinCount() const {
+    return head_bucket_ == kSummaryNil ? 0 : buckets_[head_bucket_].count;
+  }
+
+  /// Removes `node` from the summary (handle becomes invalid).
+  void Remove(uint32_t node);
+
+  uint32_t size() const { return size_; }
+  uint32_t capacity() const { return capacity_; }
+  bool Full() const { return size_ == capacity_; }
+
+  void Reset();
+
+  /// Visits all (key, count, aux) triples, in no particular order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (uint32_t b = head_bucket_; b != kSummaryNil; b = buckets_[b].next) {
+      for (uint32_t n = buckets_[b].head; n != kSummaryNil;
+           n = nodes_[n].next) {
+        fn(nodes_[n].key, buckets_[b].count, nodes_[n].aux);
+      }
+    }
+  }
+
+  /// Accounted bytes per monitored item: node (key + aux + 3 links) +
+  /// bucket (count + 3 links) + two hash-table slots (the table is sized
+  /// at 2x capacity).
+  static constexpr size_t BytesPerItem() {
+    return (sizeof(item_t) + sizeof(count_t) + 3 * sizeof(uint32_t)) +
+           (sizeof(count_t) + 3 * sizeof(uint32_t)) + 2 * sizeof(uint32_t);
+  }
+  size_t MemoryUsageBytes() const { return capacity_ * BytesPerItem(); }
+
+  /// Validates all internal invariants (test hook): bucket ordering,
+  /// link symmetry, hash-table consistency, size accounting.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node {
+    item_t key = 0;
+    count_t aux = 0;
+    uint32_t prev = kSummaryNil;   // previous sibling in bucket child list
+    uint32_t next = kSummaryNil;   // next sibling / freelist link
+    uint32_t bucket = kSummaryNil;
+  };
+  struct Bucket {
+    count_t count = 0;
+    uint32_t prev = kSummaryNil;  // bucket with next-smaller count
+    uint32_t next = kSummaryNil;  // bucket with next-larger count / freelist
+    uint32_t head = kSummaryNil;  // first child node
+  };
+
+  uint32_t AllocNode();
+  void FreeNode(uint32_t node);
+  uint32_t AllocBucket(count_t count);
+  void FreeBucket(uint32_t bucket);
+
+  /// Detaches `node` from its bucket, freeing the bucket if it empties.
+  /// Returns the handle of the bucket *after* the old one (kSummaryNil at
+  /// the tail) as a forward-search anchor, via out-params for both sides.
+  void DetachFromBucket(uint32_t node, uint32_t* anchor_prev,
+                        uint32_t* anchor_next);
+
+  /// Attaches `node` to the bucket holding `count`, searching forward from
+  /// `anchor_next` / backward from `anchor_prev` (either may be nil).
+  void AttachToBucket(uint32_t node, count_t count, uint32_t anchor_prev,
+                      uint32_t anchor_next);
+
+  size_t TableSlot(item_t key) const;
+  void TableInsert(item_t key, uint32_t node);
+  void TableErase(item_t key);
+
+  uint32_t capacity_;
+  uint32_t size_ = 0;
+  uint32_t head_bucket_ = kSummaryNil;
+  uint32_t free_node_ = kSummaryNil;
+  uint32_t free_bucket_ = kSummaryNil;
+  std::vector<Node> nodes_;
+  std::vector<Bucket> buckets_;
+  // Linear-probing table of node indices; kSummaryNil marks empty slots.
+  std::vector<uint32_t> table_;
+  size_t table_mask_ = 0;
+};
+
+}  // namespace asketch
+
+#endif  // ASKETCH_COMMON_STREAM_SUMMARY_H_

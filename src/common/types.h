@@ -1,0 +1,57 @@
+// Fundamental value types shared across the library.
+//
+// Keys are 32-bit: the paper's SIMD filter (Algorithm 3) compares four
+// 32-bit lanes per SSE2 register, and every evaluated domain (up to 13M
+// distinct items) fits comfortably. Per-cell counters are 32-bit to match
+// the paper's space accounting (a 128KB Count-Min with w=8 rows has
+// h=4096 cells per row); aggregate arithmetic is carried out in 64 bits.
+
+#ifndef ASKETCH_COMMON_TYPES_H_
+#define ASKETCH_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace asketch {
+
+/// Key of a stream tuple (k, u). Drawn from a large domain (IP pairs,
+/// click ids, ...) and used for hashing.
+using item_t = uint32_t;
+
+/// Per-cell / per-slot frequency counter. 32-bit by design: synopsis sizes
+/// are quoted in bytes in the paper, and 32-bit cells are what make a
+/// 128KB/w=8 Count-Min come out at h=4096. Additions saturate (see
+/// SaturatingAdd) instead of wrapping.
+using count_t = uint32_t;
+
+/// Wide type for count sums, stream lengths, and error accumulation.
+using wide_count_t = uint64_t;
+
+/// Signed update delta. Positive for arrivals; negative deltas model
+/// deletions (Appendix A of the paper) under the strict-turnstile
+/// assumption that no true count ever goes negative.
+using delta_t = int64_t;
+
+/// One stream tuple (k, u).
+struct Tuple {
+  item_t key = 0;
+  count_t value = 1;
+};
+
+inline bool operator==(const Tuple& a, const Tuple& b) {
+  return a.key == b.key && a.value == b.value;
+}
+
+/// Adds `delta` to `cell`, clamping at the representable range instead of
+/// wrapping. `delta` may be negative; the result is clamped at zero, which
+/// preserves the one-sided (over-estimate) guarantee under strict streams.
+inline count_t SaturatingAdd(count_t cell, delta_t delta) {
+  int64_t v = static_cast<int64_t>(cell) + delta;
+  if (v < 0) return 0;
+  constexpr int64_t kMax = static_cast<int64_t>(~count_t{0});
+  if (v > kMax) return static_cast<count_t>(kMax);
+  return static_cast<count_t>(v);
+}
+
+}  // namespace asketch
+
+#endif  // ASKETCH_COMMON_TYPES_H_

@@ -1,0 +1,14 @@
+#include "src/core/asketch.h"
+
+namespace asketch {
+
+// Explicit instantiations of the filter/sketch combinations used by the
+// tests, examples, and benchmark harness; keeps their compile times down.
+template class ASketch<VectorFilter, CountMin>;
+template class ASketch<StrictHeapFilter, CountMin>;
+template class ASketch<RelaxedHeapFilter, CountMin>;
+template class ASketch<StreamSummaryFilter, CountMin>;
+template class ASketch<RelaxedHeapFilter, Fcm>;
+template class ASketch<RelaxedHeapFilter, CountSketch>;
+
+}  // namespace asketch

@@ -1,0 +1,413 @@
+// ASketch: a sketch augmented with an exact pre-filter for the hottest
+// keys (Roy, Khan, Alonso, SIGMOD 2016).
+//
+// Every tuple first probes the filter. Hits aggregate exactly in the
+// filter; misses flow to the underlying sketch, and when the sketch's
+// estimate for the missed key exceeds the smallest count in the filter the
+// two items are *exchanged* (Algorithm 1). The two-counter protocol keeps
+// the one-sided guarantee of the underlying sketch:
+//
+//   new_count — over-estimated total frequency of a filtered key,
+//   old_count — the portion already reflected inside the sketch;
+//   new_count − old_count is the exact number of hits absorbed while the
+//   key has been resident in the filter, and is the only quantity written
+//   back to the sketch on eviction. The sketch is never decremented when a
+//   key moves *into* the filter, so no other key's estimate can drop below
+//   its true count (Example 1 of the paper is exactly the hazard avoided).
+//
+// At most one exchange is performed per sketch insertion; together with
+// the zero-delta writeback suppression this yields Lemma 1: a key that
+// appears t times is inserted into the sketch at most t times.
+//
+// Analytic model (Table 2), with w rows, h cells/row, filter of s_f bytes,
+// h' = h − s_f/w, filter time t_f, sketch time t_s, total count N of which
+// N2 reaches the sketch:
+//   update/query time:   t_f + (N2/N)·t_s
+//   estimation error:    (e/h')·N2·(N2/N)  w.p. e^{−w}   (vs (e/h)·N)
+// The space identity s_f + w·h' = w·h is enforced by MakeASketch*.
+//
+// Deletions (Appendix A) are negative-delta updates; the filter absorbs
+// them out of its exact (new−old) slack and pushes any residual into the
+// sketch. No exchange is triggered by a deletion.
+
+#ifndef ASKETCH_CORE_ASKETCH_H_
+#define ASKETCH_CORE_ASKETCH_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/serialize.h"
+#include "src/common/types.h"
+#include "src/filter/filter_interface.h"
+#include "src/filter/heap_filter.h"
+#include "src/filter/stream_summary_filter.h"
+#include "src/filter/vector_filter.h"
+#include "src/sketch/count_min.h"
+#include "src/sketch/count_sketch.h"
+#include "src/sketch/fcm.h"
+#include "src/sketch/frequency_estimator.h"
+
+namespace asketch {
+
+/// Running counters describing how the stream split between filter and
+/// sketch; the basis of the selectivity and exchange experiments
+/// (Figs. 3, 9, 17).
+struct ASketchStats {
+  /// Aggregated count absorbed by the filter (N1).
+  wide_count_t filtered_weight = 0;
+  /// Aggregated count forwarded to the sketch (N2). N2 / (N1 + N2) is the
+  /// paper's filter_selectivity.
+  wide_count_t sketch_weight = 0;
+  /// Number of filter<->sketch exchanges performed (Fig. 9).
+  uint64_t exchanges = 0;
+  /// Number of evictions whose (new-old) delta was written back into the
+  /// sketch (exchanges minus zero-delta suppressions).
+  uint64_t exchange_writebacks = 0;
+  /// Number of sketch insertions, including exchange writebacks.
+  uint64_t sketch_updates = 0;
+
+  /// N2 / N, the fraction of stream weight the sketch had to process.
+  double FilterSelectivity() const {
+    const wide_count_t total = filtered_weight + sketch_weight;
+    return total == 0 ? 0.0
+                      : static_cast<double>(sketch_weight) /
+                            static_cast<double>(total);
+  }
+};
+
+/// The Augmented Sketch, composed of a FilterType and a sketch backend.
+template <FilterType FilterT, FrequencyEstimatorType SketchT>
+class ASketch {
+ public:
+  /// Takes ownership of a constructed filter and sketch. Use the
+  /// MakeASketch* helpers to build a space-budgeted instance.
+  /// `enable_exchanges = false` disables the filter<->sketch exchange
+  /// (lines 9-17 of Algorithm 1), leaving a first-come early-aggregation
+  /// filter — an ablation knob for quantifying the exchange policy's
+  /// contribution; production use should keep it on.
+  explicit ASketch(FilterT filter, SketchT sketch,
+                   bool enable_exchanges = true)
+      : filter_(std::move(filter)),
+        sketch_(std::move(sketch)),
+        enable_exchanges_(enable_exchanges) {}
+
+  /// Algorithm 1 (positive deltas) / Appendix A (negative deltas).
+  void Update(item_t key, delta_t delta = 1) {
+    if (delta == 0) return;
+    if (delta > 0) {
+      UpdatePositive(key, delta);
+    } else {
+      UpdateNegative(key, delta);
+    }
+  }
+
+  /// Algorithm 2: filter hit answers exactly from new_count; otherwise the
+  /// sketch answers.
+  count_t Estimate(item_t key) const {
+    const int32_t slot = filter_.Find(key);
+    if (slot >= 0) return filter_.NewCount(slot);
+    return sketch_.Estimate(key);
+  }
+
+  /// Top-k frequent items query (§7.2.2): the filter's contents, sorted by
+  /// descending estimated frequency. k is bounded by the filter capacity.
+  std::vector<FilterEntry> TopK() const {
+    std::vector<FilterEntry> entries;
+    entries.reserve(filter_.size());
+    filter_.ForEach([&entries](const FilterEntry& e) {
+      entries.push_back(e);
+    });
+    std::sort(entries.begin(), entries.end(),
+              [](const FilterEntry& a, const FilterEntry& b) {
+                if (a.new_count != b.new_count) {
+                  return a.new_count > b.new_count;
+                }
+                return a.key < b.key;
+              });
+    return entries;
+  }
+
+  void Reset() {
+    filter_.Reset();
+    sketch_.Reset();
+    stats_ = ASketchStats{};
+  }
+
+  size_t MemoryUsageBytes() const {
+    return filter_.MemoryUsageBytes() + sketch_.MemoryUsageBytes();
+  }
+
+  /// Merges `other` (built from the same config — compatible sketches
+  /// and equal filter capacities) into this instance. The merged ASketch
+  /// answers queries over the union of both streams with the one-sided
+  /// guarantee intact. Returns an error message on mismatch.
+  ///
+  /// Procedure: (1) merge the sketch cells; (2) transfer the exact
+  /// filter-era hits (new−old) of `other`'s filter entries, through the
+  /// normal update path so exchanges still apply; (3) raise each of this
+  /// filter's entries by `other`'s sketch estimate for its key — that
+  /// mass is now inside the merged sketch, so both counters grow by it.
+  std::optional<std::string> MergeFrom(const ASketch& other) {
+    if (filter_.capacity() != other.filter_.capacity()) {
+      return std::string("ASketch::MergeFrom: filter capacities differ");
+    }
+    if (auto error = sketch_.MergeFrom(other.sketch_)) return error;
+    std::vector<FilterEntry> other_entries;
+    other.filter_.ForEach([&other_entries](const FilterEntry& e) {
+      other_entries.push_back(e);
+    });
+    for (const FilterEntry& e : other_entries) {
+      if (e.new_count > e.old_count) {
+        const int32_t slot = filter_.Find(e.key);
+        if (slot >= 0) {
+          filter_.AddToNewCount(
+              slot, static_cast<delta_t>(e.new_count - e.old_count));
+        } else {
+          UpdatePositive(e.key, static_cast<delta_t>(e.new_count -
+                                                     e.old_count));
+        }
+      }
+    }
+    std::vector<FilterEntry> own_entries;
+    filter_.ForEach([&own_entries](const FilterEntry& e) {
+      own_entries.push_back(e);
+    });
+    for (const FilterEntry& e : own_entries) {
+      const count_t other_sketch_estimate =
+          other.sketch_.Estimate(e.key);
+      if (other_sketch_estimate == 0) continue;
+      const int32_t slot = filter_.Find(e.key);
+      if (slot < 0) continue;  // evicted by an exchange in pass 2
+      filter_.SetCounts(
+          slot,
+          SaturatingAdd(filter_.NewCount(slot),
+                        static_cast<delta_t>(other_sketch_estimate)),
+          SaturatingAdd(filter_.OldCount(slot),
+                        static_cast<delta_t>(other_sketch_estimate)));
+    }
+    return std::nullopt;
+  }
+
+  /// Writes filter + sketch + stats. Hash functions come back from the
+  /// serialized seeds.
+  bool SerializeTo(BinaryWriter& writer) const {
+    writer.PutU32(0x314b5341u);  // "ASK1"
+    if (!filter_.SerializeTo(writer)) return false;
+    if (!sketch_.SerializeTo(writer)) return false;
+    writer.PutU8(enable_exchanges_ ? 1 : 0);
+    writer.PutU64(stats_.filtered_weight);
+    writer.PutU64(stats_.sketch_weight);
+    writer.PutU64(stats_.exchanges);
+    writer.PutU64(stats_.exchange_writebacks);
+    writer.PutU64(stats_.sketch_updates);
+    return writer.ok();
+  }
+
+  static std::optional<ASketch> DeserializeFrom(BinaryReader& reader) {
+    uint32_t magic = 0;
+    if (!reader.GetU32(&magic) || magic != 0x314b5341u) {
+      return std::nullopt;
+    }
+    auto filter = FilterT::DeserializeFrom(reader);
+    if (!filter.has_value()) return std::nullopt;
+    auto sketch = SketchT::DeserializeFrom(reader);
+    if (!sketch.has_value()) return std::nullopt;
+    uint8_t exchanges = 0;
+    ASketchStats stats;
+    if (!reader.GetU8(&exchanges) || exchanges > 1 ||
+        !reader.GetU64(&stats.filtered_weight) ||
+        !reader.GetU64(&stats.sketch_weight) ||
+        !reader.GetU64(&stats.exchanges) ||
+        !reader.GetU64(&stats.exchange_writebacks) ||
+        !reader.GetU64(&stats.sketch_updates)) {
+      return std::nullopt;
+    }
+    ASketch result(*std::move(filter), *std::move(sketch),
+                   exchanges != 0);
+    result.stats_ = stats;
+    return result;
+  }
+
+  const ASketchStats& stats() const { return stats_; }
+  FilterT& filter() { return filter_; }
+  const FilterT& filter() const { return filter_; }
+  SketchT& sketch() { return sketch_; }
+  const SketchT& sketch() const { return sketch_; }
+
+  std::string Name() const {
+    return "ASketch<" + FilterT::Name() + "," + sketch_.Name() + ">";
+  }
+
+ private:
+  void UpdatePositive(item_t key, delta_t delta) {
+    // Lines 1-6: filter lookup / free-slot insertion.
+    const int32_t slot = filter_.Find(key);
+    if (slot >= 0) {
+      filter_.AddToNewCount(slot, delta);
+      stats_.filtered_weight += static_cast<wide_count_t>(delta);
+      return;
+    }
+    if (!filter_.Full()) {
+      filter_.Insert(key, static_cast<count_t>(std::min<delta_t>(
+                              delta, ~count_t{0})),
+                     /*old_count=*/0);
+      stats_.filtered_weight += static_cast<wide_count_t>(delta);
+      return;
+    }
+    // Lines 7-9: forward to the sketch and read back the new estimate.
+    // Backends exposing the fused UpdateAndEstimate hash only once here;
+    // others fall back to Update + Estimate.
+    count_t estimate;
+    if constexpr (requires(SketchT& s) { s.UpdateAndEstimate(key, delta); }) {
+      estimate = sketch_.UpdateAndEstimate(key, delta);
+    } else {
+      sketch_.Update(key, delta);
+      estimate = sketch_.Estimate(key);
+    }
+    ++stats_.sketch_updates;
+    stats_.sketch_weight += static_cast<wide_count_t>(delta);
+    if (!enable_exchanges_) return;
+    // Lines 9-17: at most ONE exchange per sketch insertion. Multiple
+    // cascading exchanges would re-inject over-estimated counts and only
+    // add error (see the paper's discussion of the exchange policy).
+    if (estimate > filter_.MinNewCount()) {
+      const FilterEntry victim = filter_.EvictMin();
+      if (victim.new_count > victim.old_count) {
+        // Only the exact hits accumulated in the filter go back; the
+        // old_count portion never left the sketch.
+        sketch_.Update(victim.key, static_cast<delta_t>(
+                                       victim.new_count - victim.old_count));
+        ++stats_.exchange_writebacks;
+        ++stats_.sketch_updates;
+      }
+      // The incoming key keeps its sketch cells untouched; both counts
+      // start at the estimate so (new - old) = 0 exact hits so far.
+      filter_.Insert(key, estimate, estimate);
+      ++stats_.exchanges;
+    }
+  }
+
+  void UpdateNegative(item_t key, delta_t delta) {
+    const int32_t slot = filter_.Find(key);
+    if (slot < 0) {
+      // Not monitored: the deletion applies directly to the sketch.
+      sketch_.Update(key, delta);
+      ++stats_.sketch_updates;
+      return;
+    }
+    const count_t magnitude = static_cast<count_t>(
+        std::min<delta_t>(-delta, ~count_t{0}));
+    const count_t new_count = filter_.NewCount(slot);
+    const count_t old_count = filter_.OldCount(slot);
+    const count_t slack = new_count - old_count;  // exact filter-era hits
+    if (slack >= magnitude) {
+      // The filter's exact portion absorbs the whole deletion.
+      filter_.AddToNewCount(slot, delta);
+      return;
+    }
+    // Appendix A: subtract `magnitude` from new_count and the residual
+    // (magnitude - slack) from both old_count and the sketch. Afterwards
+    // new_count == old_count (all filter-era hits are consumed).
+    const count_t residual = magnitude - slack;
+    const count_t next = new_count >= magnitude ? new_count - magnitude : 0;
+    filter_.SetCounts(slot, next, next);
+    sketch_.Update(key, -static_cast<delta_t>(residual));
+    ++stats_.sketch_updates;
+    // Per Appendix A, no exchange is initiated by a negative update.
+  }
+
+  FilterT filter_;
+  SketchT sketch_;
+  bool enable_exchanges_ = true;
+  ASketchStats stats_;
+};
+
+/// Space-budget configuration for the MakeASketch* helpers. The filter is
+/// carved out of the sketch's budget by shrinking the hash range:
+/// depth' = depth − s_f/(width·sizeof(cell)), i.e. s_f + w·h' = w·h.
+struct ASketchConfig {
+  /// Total synopsis budget in bytes (filter + sketch), e.g. 128 KB.
+  size_t total_bytes = 128 * 1024;
+  /// Number of sketch rows (w); kept identical to the plain sketch so the
+  /// error-probability term e^{-w} is unchanged (§4).
+  uint32_t width = 8;
+  /// Filter capacity in items (|F|), e.g. 32 (~0.4 KB for flat filters).
+  uint32_t filter_items = 32;
+  uint64_t seed = 42;
+
+  std::optional<std::string> Validate() const {
+    if (width < 1) return std::string("ASketch width must be >= 1");
+    if (filter_items < 1) {
+      return std::string("ASketch filter_items must be >= 1");
+    }
+    return std::nullopt;
+  }
+};
+
+namespace internal {
+
+/// Sketch byte budget left after the filter takes its share.
+template <FilterType FilterT>
+size_t SketchBudgetBytes(const ASketchConfig& config) {
+  const size_t filter_bytes = config.filter_items * FilterT::BytesPerItem();
+  ASKETCH_CHECK(filter_bytes < config.total_bytes);
+  return config.total_bytes - filter_bytes;
+}
+
+}  // namespace internal
+
+/// ASketch over Count-Min (the paper's default configuration).
+template <FilterType FilterT>
+ASketch<FilterT, CountMin> MakeASketchCountMin(const ASketchConfig& config) {
+  ASKETCH_CHECK(!config.Validate().has_value());
+  const CountMinConfig sketch_config = CountMinConfig::FromSpaceBudget(
+      internal::SketchBudgetBytes<FilterT>(config), config.width,
+      config.seed);
+  return ASketch<FilterT, CountMin>(FilterT(config.filter_items),
+                                    CountMin(sketch_config));
+}
+
+/// ASketch over FCM ("ASketch-FCM", §7.2.1). The MG classifier is dropped:
+/// the filter already separates the hot keys, so every key reaching the
+/// sketch is treated as low-frequency — this is the modified FCM the paper
+/// uses inside ASketch-FCM.
+template <FilterType FilterT>
+ASketch<FilterT, Fcm> MakeASketchFcm(const ASketchConfig& config) {
+  ASKETCH_CHECK(!config.Validate().has_value());
+  FcmConfig sketch_config = FcmConfig::FromSpaceBudget(
+      internal::SketchBudgetBytes<FilterT>(config), config.width,
+      /*mg_capacity=*/0, config.seed);
+  sketch_config.use_mg_classifier = false;
+  sketch_config.mg_capacity = 0;
+  return ASketch<FilterT, Fcm>(FilterT(config.filter_items),
+                               Fcm(sketch_config));
+}
+
+/// ASketch over Count Sketch (generality demonstration).
+template <FilterType FilterT>
+ASketch<FilterT, CountSketch> MakeASketchCountSketch(
+    const ASketchConfig& config) {
+  ASKETCH_CHECK(!config.Validate().has_value());
+  const CountSketchConfig sketch_config = CountSketchConfig::FromSpaceBudget(
+      internal::SketchBudgetBytes<FilterT>(config), config.width,
+      config.seed);
+  return ASketch<FilterT, CountSketch>(FilterT(config.filter_items),
+                                       CountSketch(sketch_config));
+}
+
+extern template class ASketch<VectorFilter, CountMin>;
+extern template class ASketch<StrictHeapFilter, CountMin>;
+extern template class ASketch<RelaxedHeapFilter, CountMin>;
+extern template class ASketch<StreamSummaryFilter, CountMin>;
+extern template class ASketch<RelaxedHeapFilter, Fcm>;
+extern template class ASketch<RelaxedHeapFilter, CountSketch>;
+
+}  // namespace asketch
+
+#endif  // ASKETCH_CORE_ASKETCH_H_

@@ -1,0 +1,219 @@
+#include "src/core/pipeline_asketch.h"
+
+#include <algorithm>
+
+namespace asketch {
+
+PipelineASketch::PipelineASketch(const ASketchConfig& config,
+                                 size_t queue_capacity)
+    : filter_(config.filter_items),
+      sketch_(CountMinConfig::FromSpaceBudget(
+          internal::SketchBudgetBytes<RelaxedHeapFilter>(config),
+          config.width, config.seed)),
+      forward_(queue_capacity),
+      reverse_(queue_capacity) {
+  ASKETCH_CHECK(!config.Validate().has_value());
+  worker_ = std::thread([this] { SketchStageMain(); });
+}
+
+PipelineASketch::~PipelineASketch() {
+  stop_.store(true, std::memory_order_release);
+  worker_.join();
+}
+
+void PipelineASketch::PushForward(const ForwardMsg& msg) {
+  while (!forward_.TryPush(msg)) {
+    // Backpressure: the filter stage briefly helps by draining reverse
+    // messages so neither side can deadlock on two full queues.
+    DrainReverseQueue();
+  }
+  ++produced_;
+}
+
+bool PipelineASketch::PushForwardUpdate(item_t key, count_t weight) {
+  ForwardMsg msg{ForwardKind::kUpdate, key, weight};
+  while (!forward_.TryPush(msg)) {
+    DrainReverseQueue();
+    // The drain may have accepted an exchange for this very key. If the
+    // key is now filter-resident, pushing the update anyway would place
+    // it in the sketch AFTER the exchange's mark — the fix-up estimate
+    // would not cover it and the filter entry would under-count. Absorb
+    // it into the entry's exact portion instead.
+    const int32_t slot = filter_.Find(key);
+    if (slot >= 0) {
+      const bool was_min = filter_.NewCount(slot) == filter_.MinNewCount();
+      filter_.AddToNewCount(slot, static_cast<delta_t>(weight));
+      if (was_min) PublishMin();
+      return false;
+    }
+  }
+  ++produced_;
+  return true;
+}
+
+void PipelineASketch::Update(item_t key, delta_t delta) {
+  ASKETCH_CHECK(delta >= 1);
+  DrainReverseQueue();
+  const int32_t slot = filter_.Find(key);
+  if (slot >= 0) {
+    const bool was_min = filter_.NewCount(slot) == filter_.MinNewCount();
+    filter_.AddToNewCount(slot, delta);
+    if (was_min) PublishMin();
+    ++stats_.filter_hits;
+    return;
+  }
+  const count_t weight = static_cast<count_t>(
+      std::min<delta_t>(delta, ~count_t{0}));
+  if (!filter_.Full()) {
+    filter_.Insert(key, weight, /*old_count=*/0);
+    PublishMin();
+    ++stats_.filter_hits;
+    return;
+  }
+  if (PushForwardUpdate(key, weight)) {
+    ++stats_.forwarded;
+  } else {
+    ++stats_.filter_hits;  // absorbed during backpressure
+  }
+}
+
+void PipelineASketch::DrainReverseQueue() {
+  ReverseMsg msg;
+  while (reverse_.TryPop(&msg)) {
+    const int32_t slot = filter_.Find(msg.key);
+    switch (msg.kind) {
+      case ReverseKind::kCandidate: {
+        if (slot >= 0) {
+          // Already resident (e.g. a duplicate candidate); nothing to do —
+          // the pending fix-up of the first acceptance covers it.
+          ++stats_.rejected_candidates;
+          break;
+        }
+        if (filter_.size() == 0 ||
+            msg.estimate <= filter_.MinNewCount()) {
+          ++stats_.rejected_candidates;  // stale by the time it arrived
+          break;
+        }
+        const FilterEntry victim = filter_.EvictMin();
+        if (victim.new_count > victim.old_count) {
+          // Same hazard as in Update(): a nested drain during
+          // backpressure can re-admit the victim; its exact hits must
+          // then stay in the filter rather than race past a newer mark.
+          PushForwardUpdate(victim.key,
+                            victim.new_count - victim.old_count);
+        }
+        filter_.Insert(msg.key, msg.estimate, msg.estimate);
+        PublishMin();
+        // Fence the queue: when the sketch stage reaches this mark, all
+        // earlier occurrences of the key are in the sketch and a fix-up
+        // with the refreshed estimate comes back.
+        PushForward(ForwardMsg{ForwardKind::kMark, msg.key, 0});
+        ++stats_.exchanges;
+        break;
+      }
+      case ReverseKind::kFixup: {
+        if (slot < 0) {
+          // Evicted in the meantime; the eviction already wrote the exact
+          // filter-era hits back to the sketch.
+          ++stats_.fixups_dropped;
+          break;
+        }
+        const count_t old_count = filter_.OldCount(slot);
+        if (msg.estimate > old_count) {
+          const count_t raise = msg.estimate - old_count;
+          // Raise both counts: the in-flight occurrences are now reflected
+          // in old_count (they live in the sketch), and new_count keeps
+          // the exact hits accumulated since the exchange on top.
+          filter_.SetCounts(slot,
+                            SaturatingAdd(filter_.NewCount(slot), raise),
+                            msg.estimate);
+          PublishMin();
+        }
+        ++stats_.fixups_applied;
+        break;
+      }
+    }
+  }
+}
+
+void PipelineASketch::SketchStageMain() {
+  ForwardMsg msg;
+  while (true) {
+    if (!forward_.TryPop(&msg)) {
+      if (stop_.load(std::memory_order_acquire) && forward_.Empty()) {
+        return;
+      }
+      std::this_thread::yield();
+      continue;
+    }
+    switch (msg.kind) {
+      case ForwardKind::kUpdate: {
+        const count_t estimate =
+            sketch_.UpdateAndEstimate(msg.key, msg.weight);
+        if (estimate > min_count_.load(std::memory_order_relaxed)) {
+          // Propose an exchange; drop the proposal if the reverse queue
+          // is full (the filter stage will hear about the key again).
+          reverse_.TryPush(
+              ReverseMsg{ReverseKind::kCandidate, msg.key, estimate});
+        }
+        break;
+      }
+      case ForwardKind::kMark: {
+        const count_t estimate = sketch_.Estimate(msg.key);
+        // The fix-up must not be lost: spin until it fits.
+        while (!reverse_.TryPush(
+            ReverseMsg{ReverseKind::kFixup, msg.key, estimate})) {
+          std::this_thread::yield();
+        }
+        break;
+      }
+    }
+    consumed_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void PipelineASketch::Flush() {
+  // Alternate between draining reverse messages (which may enqueue more
+  // forward work) and waiting for the worker to catch up, until both
+  // queues are empty and every produced message was consumed.
+  while (true) {
+    DrainReverseQueue();
+    if (consumed_.load(std::memory_order_acquire) == produced_ &&
+        reverse_.Empty()) {
+      // The worker may still be about to push a candidate for the last
+      // consumed message — consumed_ is incremented after the push, so
+      // consumed == produced implies all pushes happened; one final drain
+      // and we are quiescent.
+      DrainReverseQueue();
+      if (consumed_.load(std::memory_order_acquire) == produced_ &&
+          reverse_.Empty()) {
+        return;
+      }
+    }
+    std::this_thread::yield();
+  }
+}
+
+count_t PipelineASketch::Estimate(item_t key) const {
+  const int32_t slot = filter_.Find(key);
+  if (slot >= 0) return filter_.NewCount(slot);
+  return sketch_.Estimate(key);
+}
+
+std::vector<FilterEntry> PipelineASketch::TopK() const {
+  std::vector<FilterEntry> entries;
+  entries.reserve(filter_.size());
+  filter_.ForEach([&entries](const FilterEntry& e) {
+    entries.push_back(e);
+  });
+  std::sort(entries.begin(), entries.end(),
+            [](const FilterEntry& a, const FilterEntry& b) {
+              if (a.new_count != b.new_count) {
+                return a.new_count > b.new_count;
+              }
+              return a.key < b.key;
+            });
+  return entries;
+}
+
+}  // namespace asketch

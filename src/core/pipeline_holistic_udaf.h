@@ -1,0 +1,122 @@
+// Pipeline-parallel Holistic UDAFs — the "Parallel Hollistic UDAFs"
+// baseline of Fig. 12.
+//
+// Stage C0 (caller's thread) runs the low-level aggregation table; when
+// a new key overflows the full table, the whole table is flushed through
+// an SPSC queue to stage C1, which applies the entries to the Count-Min.
+// Unlike ASketch's pipeline there is no reverse traffic at all — the
+// table is a plain buffer, so the only coordination is the flush stream.
+// As the paper notes, C0 "after flushing the low-level aggregator table,
+// can immediately start processing next items from the input stream".
+
+#ifndef ASKETCH_CORE_PIPELINE_HOLISTIC_UDAF_H_
+#define ASKETCH_CORE_PIPELINE_HOLISTIC_UDAF_H_
+
+#include <atomic>
+#include <thread>
+
+#include "src/common/bit_util.h"
+#include "src/common/check.h"
+#include "src/common/simd_scan.h"
+#include "src/common/types.h"
+#include "src/core/spsc_queue.h"
+#include "src/sketch/holistic_udaf.h"
+
+namespace asketch {
+
+/// Holistic UDAFs with the aggregation table and the sketch on separate
+/// threads.
+class PipelineHolisticUdaf {
+ public:
+  explicit PipelineHolisticUdaf(const HolisticUdafConfig& config,
+                                size_t queue_capacity = 4096)
+      : table_capacity_(config.table_capacity),
+        sketch_(config.sketch),
+        queue_(queue_capacity) {
+    ASKETCH_CHECK(!config.Validate().has_value());
+    const size_t padded = RoundUp(table_capacity_, kSimdBlockElements);
+    ids_.assign(padded, 0);
+    counts_.assign(padded, 0);
+    worker_ = std::thread([this] { SketchStageMain(); });
+  }
+
+  ~PipelineHolisticUdaf() {
+    stop_.store(true, std::memory_order_release);
+    worker_.join();
+  }
+
+  PipelineHolisticUdaf(const PipelineHolisticUdaf&) = delete;
+  PipelineHolisticUdaf& operator=(const PipelineHolisticUdaf&) = delete;
+
+  /// Processes one arrival (weight >= 1).
+  void Update(item_t key, count_t weight = 1) {
+    ASKETCH_CHECK(weight >= 1);
+    const int32_t slot = FindKey(ids_.data(), ids_.size(), size_, key);
+    if (slot >= 0) {
+      counts_[slot] = SaturatingAdd(counts_[slot],
+                                    static_cast<delta_t>(weight));
+      return;
+    }
+    if (size_ == table_capacity_) FlushTable();
+    ids_[size_] = key;
+    counts_[size_] = weight;
+    ++size_;
+  }
+
+  /// Drains the table and blocks until the sketch stage is idle.
+  void Flush() {
+    FlushTable();
+    while (consumed_.load(std::memory_order_acquire) != produced_) {
+      std::this_thread::yield();
+    }
+  }
+
+  /// Point query; only valid on a flushed pipeline.
+  count_t Estimate(item_t key) const { return sketch_.Estimate(key); }
+
+  uint64_t flush_count() const { return flush_count_; }
+
+ private:
+  void FlushTable() {
+    for (uint32_t i = 0; i < size_; ++i) {
+      const Tuple entry{ids_[i], counts_[i]};
+      while (!queue_.TryPush(entry)) {
+        std::this_thread::yield();
+      }
+      ++produced_;
+    }
+    size_ = 0;
+    ++flush_count_;
+  }
+
+  void SketchStageMain() {
+    Tuple entry;
+    while (true) {
+      if (!queue_.TryPop(&entry)) {
+        if (stop_.load(std::memory_order_acquire) && queue_.Empty()) {
+          return;
+        }
+        std::this_thread::yield();
+        continue;
+      }
+      sketch_.Update(entry.key, entry.value);
+      consumed_.fetch_add(1, std::memory_order_release);
+    }
+  }
+
+  uint32_t table_capacity_;
+  uint32_t size_ = 0;
+  uint64_t flush_count_ = 0;
+  std::vector<uint32_t> ids_;
+  std::vector<count_t> counts_;
+  CountMin sketch_;
+  SpscQueue<Tuple> queue_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> consumed_{0};
+  uint64_t produced_ = 0;
+  std::thread worker_;
+};
+
+}  // namespace asketch
+
+#endif  // ASKETCH_CORE_PIPELINE_HOLISTIC_UDAF_H_

@@ -1,0 +1,76 @@
+// SPMD-parallel ASketch kernels (§6.3).
+//
+// Each worker thread runs an independent ASketch instance as a sequential
+// counting kernel over its own sub-stream (the paper's multi-stream
+// scenario). Frequency estimation is commutative, so a point query is
+// answered by summing the kernels' estimates — each kernel only saw its
+// own partition, and the sum of per-partition over-estimates is an
+// over-estimate of the total.
+
+#ifndef ASKETCH_CORE_SPMD_GROUP_H_
+#define ASKETCH_CORE_SPMD_GROUP_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+#include "src/core/asketch.h"
+#include "src/filter/heap_filter.h"
+#include "src/sketch/count_min.h"
+
+namespace asketch {
+
+/// A group of independent ASketch kernels (Relaxed-Heap over Count-Min)
+/// processing disjoint streams in parallel.
+class SpmdAsketchGroup {
+ public:
+  /// `num_kernels` kernels, each built from `config` (each kernel gets the
+  /// full per-kernel space budget, like the paper's per-core synopses;
+  /// seeds are derotated per kernel).
+  SpmdAsketchGroup(uint32_t num_kernels, const ASketchConfig& config);
+
+  /// Splits `stream` into contiguous chunks, one per kernel, and processes
+  /// them on `num_kernels` threads. Blocks until done. May be called
+  /// repeatedly; counts accumulate.
+  void Process(std::span<const Tuple> stream);
+
+  /// Point query: sum of the kernels' estimates. Only valid while no
+  /// Process() call is running.
+  count_t Estimate(item_t key) const;
+
+  uint32_t num_kernels() const {
+    return static_cast<uint32_t>(kernels_.size());
+  }
+  size_t MemoryUsageBytes() const;
+
+  /// Direct access to a kernel (tests).
+  const ASketch<RelaxedHeapFilter, CountMin>& kernel(uint32_t i) const {
+    return kernels_[i];
+  }
+
+ private:
+  std::vector<ASketch<RelaxedHeapFilter, CountMin>> kernels_;
+};
+
+/// Same SPMD arrangement for plain Count-Min kernels — the baseline of
+/// the paper's scalability experiment (Fig. 13).
+class SpmdCountMinGroup {
+ public:
+  SpmdCountMinGroup(uint32_t num_kernels, const CountMinConfig& config);
+
+  void Process(std::span<const Tuple> stream);
+  count_t Estimate(item_t key) const;
+
+  uint32_t num_kernels() const {
+    return static_cast<uint32_t>(kernels_.size());
+  }
+
+ private:
+  std::vector<CountMin> kernels_;
+};
+
+}  // namespace asketch
+
+#endif  // ASKETCH_CORE_SPMD_GROUP_H_

@@ -1,0 +1,89 @@
+// Bounded lock-free single-producer / single-consumer ring buffer.
+//
+// The message-passing substrate of the pipeline-parallel ASketch (§6.2):
+// the filter core and the sketch core exchange items over two of these
+// queues instead of sharing the data structures, avoiding locks entirely.
+// Head and tail live on separate cache lines; both sides keep a cached
+// copy of the opposite index to avoid ping-ponging the shared lines on
+// every operation (the standard Lamport queue optimization).
+
+#ifndef ASKETCH_CORE_SPSC_QUEUE_H_
+#define ASKETCH_CORE_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <vector>
+
+#include "src/common/bit_util.h"
+#include "src/common/check.h"
+
+namespace asketch {
+
+// 64 bytes covers every x86-64 and most ARM parts; using the fixed value
+// avoids gcc's -Winterference-size ABI-stability warning.
+inline constexpr size_t kCacheLineSize = 64;
+
+/// Fixed-capacity SPSC queue of trivially-copyable T.
+template <typename T>
+class SpscQueue {
+ public:
+  /// Queue holding up to `capacity` elements (rounded up to a power of
+  /// two; one slot is sacrificed to distinguish full from empty).
+  explicit SpscQueue(size_t capacity)
+      : mask_(NextPowerOfTwo(capacity + 1) - 1),
+        slots_(mask_ + 1) {
+    ASKETCH_CHECK(capacity >= 1);
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer: enqueues `value` if there is room. Returns false when full.
+  bool TryPush(const T& value) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t next = (head + 1) & mask_;
+    if (next == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (next == cached_tail_) return false;
+    }
+    slots_[head] = value;
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer: dequeues into `value` if non-empty. Returns false when
+  /// empty.
+  bool TryPop(T* value) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == cached_head_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail == cached_head_) return false;
+    }
+    *value = slots_[tail];
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return true;
+  }
+
+  /// True when the queue is empty at this instant (either side may call;
+  /// the answer is naturally racy and meant for quiescence polling).
+  bool Empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  size_t capacity() const { return mask_; }
+
+ private:
+  const size_t mask_;
+  std::vector<T> slots_;
+
+  alignas(kCacheLineSize) std::atomic<size_t> head_{0};
+  alignas(kCacheLineSize) size_t cached_tail_ = 0;   // producer-owned
+  alignas(kCacheLineSize) std::atomic<size_t> tail_{0};
+  alignas(kCacheLineSize) size_t cached_head_ = 0;   // consumer-owned
+};
+
+}  // namespace asketch
+
+#endif  // ASKETCH_CORE_SPSC_QUEUE_H_

@@ -1,0 +1,123 @@
+// Windowed frequency estimation over ASketch.
+//
+// Long-running monitors usually care about "how often did k appear
+// *recently*", not since process start. This adapter implements the
+// standard two-epoch jumping window: tuples land in a current epoch
+// summary; every `window_size` counts the epochs rotate (previous is
+// discarded, current becomes previous, a fresh current starts). A query
+// sums the two epochs' estimates and therefore covers between one and
+// two windows of history — never less than the last full window, never
+// more than the last two. All ASketch guarantees carry over per epoch:
+// within the covered span the estimate never under-counts.
+//
+// This is an application-layer extension (the paper's future-work
+// direction of employing ASketch inside larger systems); the epoch
+// machinery is sketch-agnostic and works with any config.
+
+#ifndef ASKETCH_CORE_WINDOWED_ASKETCH_H_
+#define ASKETCH_CORE_WINDOWED_ASKETCH_H_
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+#include "src/core/asketch.h"
+#include "src/filter/heap_filter.h"
+#include "src/sketch/count_min.h"
+
+namespace asketch {
+
+/// Jumping-window ASketch (Relaxed-Heap over Count-Min epochs).
+class WindowedASketch {
+ public:
+  /// Epochs rotate every `window_size` stream counts (>= 1). Each epoch
+  /// is an ASketch built from `config`, so total memory is 2x the
+  /// config's budget.
+  WindowedASketch(uint64_t window_size, const ASketchConfig& config)
+      : window_size_(window_size),
+        config_(config),
+        current_(MakeASketchCountMin<RelaxedHeapFilter>(config)),
+        previous_(MakeASketchCountMin<RelaxedHeapFilter>(config)) {
+    ASKETCH_CHECK(window_size >= 1);
+  }
+
+  /// Processes `weight` arrivals of `key` (weight >= 1; windowed
+  /// semantics and deletions do not compose — expired counts already
+  /// vanish with their epoch).
+  void Update(item_t key, count_t weight = 1) {
+    ASKETCH_CHECK(weight >= 1);
+    current_.Update(key, static_cast<delta_t>(weight));
+    filled_ += weight;
+    if (filled_ >= window_size_) Rotate();
+  }
+
+  /// Estimated frequency of `key` over the covered span (between one
+  /// and two windows back from now). Never under-counts within the span.
+  count_t Estimate(item_t key) const {
+    return SaturatingAdd(current_.Estimate(key),
+                         static_cast<delta_t>(previous_.Estimate(key)));
+  }
+
+  /// Top-k over the covered span: the union of both epochs' filter keys,
+  /// each reported with its full windowed Estimate() (so the report is
+  /// consistent with point queries), sorted descending.
+  std::vector<FilterEntry> TopK() const {
+    std::vector<FilterEntry> merged;
+    const auto add_key = [&merged, this](const FilterEntry& e) {
+      for (const FilterEntry& existing : merged) {
+        if (existing.key == e.key) return;  // already reported
+      }
+      FilterEntry entry = e;
+      entry.new_count = Estimate(e.key);
+      merged.push_back(entry);
+    };
+    current_.filter().ForEach(add_key);
+    previous_.filter().ForEach(add_key);
+    std::sort(merged.begin(), merged.end(),
+              [](const FilterEntry& a, const FilterEntry& b) {
+                if (a.new_count != b.new_count) {
+                  return a.new_count > b.new_count;
+                }
+                return a.key < b.key;
+              });
+    return merged;
+  }
+
+  /// Counts accumulated into the current (unfinished) epoch.
+  uint64_t current_epoch_fill() const { return filled_; }
+  /// Number of completed epoch rotations.
+  uint64_t rotations() const { return rotations_; }
+  uint64_t window_size() const { return window_size_; }
+
+  size_t MemoryUsageBytes() const {
+    return current_.MemoryUsageBytes() + previous_.MemoryUsageBytes();
+  }
+
+  void Reset() {
+    current_.Reset();
+    previous_.Reset();
+    filled_ = 0;
+    rotations_ = 0;
+  }
+
+ private:
+  void Rotate() {
+    std::swap(current_, previous_);
+    current_.Reset();
+    filled_ = 0;
+    ++rotations_;
+  }
+
+  uint64_t window_size_;
+  ASketchConfig config_;
+  ASketch<RelaxedHeapFilter, CountMin> current_;
+  ASketch<RelaxedHeapFilter, CountMin> previous_;
+  uint64_t filled_ = 0;
+  uint64_t rotations_ = 0;
+};
+
+}  // namespace asketch
+
+#endif  // ASKETCH_CORE_WINDOWED_ASKETCH_H_

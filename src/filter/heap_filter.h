@@ -1,0 +1,282 @@
+// Heap filters: array min-heaps keyed on new_count (§6.1).
+//
+// Both variants store (id, new_count, old_count) in parallel arrays
+// arranged as an implicit binary min-heap, so the minimum-count item — the
+// one consulted on *every* filter miss (Algorithm 1, line 9) — sits at the
+// root and is read in O(1). Lookups scan the id array with SIMD
+// (Algorithm 3); the heap arrangement is irrelevant to the scan.
+//
+//  * Strict (kStrict = true): the heap property is repaired after every
+//    hit, by sifting the grown entry down.
+//  * Relaxed (kStrict = false): the heap is rebuilt only when the minimum
+//    entry itself is hit. Counts only grow on the hot path, so a non-root
+//    entry growing can never make the root stale — the root remains the
+//    global minimum even though the heap's *internal* order decays. This
+//    is the paper's best-performing filter in the real-world skew range.
+//
+// Decreases (the deletion path of Appendix A) can invalidate the root from
+// anywhere, so both variants rebuild after a decrease.
+
+#ifndef ASKETCH_FILTER_HEAP_FILTER_H_
+#define ASKETCH_FILTER_HEAP_FILTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/bit_util.h"
+#include "src/common/check.h"
+#include "src/common/serialize.h"
+#include "src/common/simd_scan.h"
+#include "src/common/types.h"
+#include "src/filter/filter_interface.h"
+
+namespace asketch {
+
+/// Min-heap filter; see file comment for the strict/relaxed policies.
+template <bool kStrict>
+class BasicHeapFilter {
+ public:
+  /// A filter holding at most `capacity` items (>= 1).
+  explicit BasicHeapFilter(uint32_t capacity) : capacity_(capacity) {
+    ASKETCH_CHECK(capacity >= 1);
+    const size_t padded = RoundUp(capacity, kSimdBlockElements);
+    ids_.assign(padded, 0);
+    new_counts_.assign(padded, std::numeric_limits<count_t>::max());
+    old_counts_.assign(padded, 0);
+  }
+
+  /// Slot of `key`, or -1. Slots are heap positions and are invalidated by
+  /// any mutating call.
+  int32_t Find(item_t key) const {
+    return FindKey(ids_.data(), ids_.size(), size_, key);
+  }
+
+  count_t NewCount(int32_t slot) const { return new_counts_[slot]; }
+  count_t OldCount(int32_t slot) const { return old_counts_[slot]; }
+
+  /// Adds `delta` (may be negative) to the slot's new_count and repairs
+  /// the heap per the variant's policy.
+  void AddToNewCount(int32_t slot, delta_t delta) {
+    new_counts_[slot] = SaturatingAdd(new_counts_[slot], delta);
+    if (delta < 0) {
+      // Deletions may create a new minimum anywhere: rebuild.
+      Heapify();
+      return;
+    }
+    if constexpr (kStrict) {
+      SiftDown(static_cast<uint32_t>(slot));
+    } else {
+      if (slot == 0) Heapify();
+    }
+  }
+
+  /// Overwrites both counts of `slot` (deletion fix-ups); rebuilds.
+  void SetCounts(int32_t slot, count_t new_count, count_t old_count) {
+    new_counts_[slot] = new_count;
+    old_counts_[slot] = old_count;
+    Heapify();
+  }
+
+  /// Inserts a new entry; the filter must not be full and `key` absent.
+  void Insert(item_t key, count_t new_count, count_t old_count) {
+    ASKETCH_CHECK(!Full());
+    ASKETCH_DCHECK(Find(key) < 0);
+    ids_[size_] = key;
+    new_counts_[size_] = new_count;
+    old_counts_[size_] = old_count;
+    ++size_;
+    if constexpr (kStrict) {
+      SiftUp(size_ - 1);
+    } else {
+      // Only the root-is-minimum invariant matters.
+      if (new_count < new_counts_[0]) Heapify();
+    }
+  }
+
+  /// Removes the entry at `slot`.
+  void Remove(int32_t slot) {
+    ASKETCH_DCHECK(slot >= 0 && static_cast<uint32_t>(slot) < size_);
+    --size_;
+    MoveEntry(size_, static_cast<uint32_t>(slot));
+    new_counts_[size_] = std::numeric_limits<count_t>::max();
+    Heapify();
+  }
+
+  bool Full() const { return size_ == capacity_; }
+
+  /// Smallest new_count, in O(1) at the heap root.
+  count_t MinNewCount() const {
+    ASKETCH_DCHECK(size_ > 0);
+    return new_counts_[0];
+  }
+
+  /// Removes and returns the minimum-new_count entry (the root).
+  FilterEntry EvictMin() {
+    ASKETCH_CHECK(size_ > 0);
+    const FilterEntry entry{ids_[0], new_counts_[0], old_counts_[0]};
+    --size_;
+    MoveEntry(size_, 0);
+    new_counts_[size_] = std::numeric_limits<count_t>::max();
+    if (size_ > 0) {
+      if constexpr (kStrict) {
+        SiftDown(0);
+      } else {
+        Heapify();
+      }
+    }
+    return entry;
+  }
+
+  uint32_t size() const { return size_; }
+  uint32_t capacity() const { return capacity_; }
+
+  /// Bytes per item: id + new_count + old_count (12 B), identical to the
+  /// Vector filter — both heap variants hold 32 items in 0.4 KB.
+  static constexpr size_t BytesPerItem() {
+    return sizeof(item_t) + 2 * sizeof(count_t);
+  }
+  size_t MemoryUsageBytes() const { return capacity_ * BytesPerItem(); }
+
+  void Reset() {
+    size_ = 0;
+    std::fill(new_counts_.begin(), new_counts_.end(),
+              std::numeric_limits<count_t>::max());
+  }
+
+  /// Visits all entries in heap-array order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (uint32_t i = 0; i < size_; ++i) {
+      fn(FilterEntry{ids_[i], new_counts_[i], old_counts_[i]});
+    }
+  }
+
+  static std::string Name() { return kStrict ? "Strict-Heap"
+                                             : "Relaxed-Heap"; }
+
+  bool SerializeTo(BinaryWriter& writer) const {
+    writer.PutU32(kStrict ? 0x31544853u : 0x31544852u);  // SHT1 / RHT1
+    writer.PutU32(capacity_);
+    writer.PutU32(size_);
+    for (uint32_t i = 0; i < size_; ++i) {
+      writer.PutU32(ids_[i]);
+      writer.PutU32(new_counts_[i]);
+      writer.PutU32(old_counts_[i]);
+    }
+    return writer.ok();
+  }
+
+  static std::optional<BasicHeapFilter> DeserializeFrom(
+      BinaryReader& reader) {
+    uint32_t magic = 0, capacity = 0, size = 0;
+    if (!reader.GetU32(&magic) ||
+        magic != (kStrict ? 0x31544853u : 0x31544852u)) {
+      return std::nullopt;
+    }
+    if (!reader.GetU32(&capacity) || capacity < 1 ||
+        !reader.GetU32(&size) || size > capacity) {
+      return std::nullopt;
+    }
+    BasicHeapFilter filter(capacity);
+    for (uint32_t i = 0; i < size; ++i) {
+      uint32_t key = 0, new_count = 0, old_count = 0;
+      if (!reader.GetU32(&key) || !reader.GetU32(&new_count) ||
+          !reader.GetU32(&old_count)) {
+        return std::nullopt;
+      }
+      if (filter.Find(key) >= 0) return std::nullopt;
+      filter.ids_[i] = key;
+      filter.new_counts_[i] = new_count;
+      filter.old_counts_[i] = old_count;
+      filter.size_ = i + 1;
+    }
+    filter.Heapify();
+    return filter;
+  }
+
+  /// Test hook: true if the root holds the global minimum (both variants)
+  /// and, for the strict variant, the full heap property holds.
+  bool CheckInvariants() const {
+    if (size_ == 0) return true;
+    for (uint32_t i = 1; i < size_; ++i) {
+      if (new_counts_[i] < new_counts_[0]) return false;
+    }
+    if constexpr (kStrict) {
+      for (uint32_t i = 1; i < size_; ++i) {
+        if (new_counts_[i] < new_counts_[(i - 1) / 2]) return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  void SwapEntries(uint32_t a, uint32_t b) {
+    std::swap(ids_[a], ids_[b]);
+    std::swap(new_counts_[a], new_counts_[b]);
+    std::swap(old_counts_[a], old_counts_[b]);
+  }
+
+  void MoveEntry(uint32_t from, uint32_t to) {
+    ids_[to] = ids_[from];
+    new_counts_[to] = new_counts_[from];
+    old_counts_[to] = old_counts_[from];
+  }
+
+  void SiftDown(uint32_t i) {
+    while (true) {
+      const uint32_t left = 2 * i + 1;
+      if (left >= size_) return;
+      uint32_t child = left;
+      const uint32_t right = left + 1;
+      if (right < size_ && new_counts_[right] < new_counts_[left]) {
+        child = right;
+      }
+      if (new_counts_[child] >= new_counts_[i]) return;
+      SwapEntries(i, child);
+      i = child;
+    }
+  }
+
+  void SiftUp(uint32_t i) {
+    while (i > 0) {
+      const uint32_t parent = (i - 1) / 2;
+      if (new_counts_[parent] <= new_counts_[i]) return;
+      SwapEntries(i, parent);
+      i = parent;
+    }
+  }
+
+  /// Full O(size) heap reconstruction (Floyd's build-heap).
+  void Heapify() {
+    if (size_ <= 1) return;
+    for (uint32_t i = size_ / 2; i-- > 0;) SiftDown(i);
+  }
+
+  uint32_t capacity_;
+  uint32_t size_ = 0;
+  // Parallel arrays padded to a SIMD block multiple; new_counts_ padding
+  // stays at UINT32_MAX.
+  std::vector<uint32_t> ids_;
+  std::vector<count_t> new_counts_;
+  std::vector<count_t> old_counts_;
+};
+
+extern template class BasicHeapFilter<true>;
+extern template class BasicHeapFilter<false>;
+
+/// Heap repaired on every hit.
+using StrictHeapFilter = BasicHeapFilter<true>;
+/// Heap rebuilt only when the minimum is hit — the paper's default filter.
+using RelaxedHeapFilter = BasicHeapFilter<false>;
+
+static_assert(FilterType<StrictHeapFilter>);
+static_assert(FilterType<RelaxedHeapFilter>);
+
+}  // namespace asketch
+
+#endif  // ASKETCH_FILTER_HEAP_FILTER_H_

@@ -1,0 +1,9 @@
+#include "src/filter/heap_filter.h"
+
+namespace asketch {
+
+// Explicit instantiation of the relaxed variant; the definition lives in
+// heap_filter.h.
+template class BasicHeapFilter<false>;
+
+}  // namespace asketch

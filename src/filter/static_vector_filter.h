@@ -1,0 +1,133 @@
+// Static (compile-time capacity) vector filter.
+//
+// §6.2 of the paper observes that a decoupled filter "can even fit into
+// the registers of the processor". This variant fixes the capacity at
+// compile time and stores the three arrays inline in the object (no heap
+// indirection), letting the compiler fully unroll the SIMD scans for the
+// common 16/32/64-item configurations and keep the whole filter in L1 —
+// or, for the smallest sizes, mostly in registers across the scan.
+//
+// Semantics are identical to VectorFilter; it satisfies FilterType and
+// composes with ASketch like any other filter.
+
+#ifndef ASKETCH_FILTER_STATIC_VECTOR_FILTER_H_
+#define ASKETCH_FILTER_STATIC_VECTOR_FILTER_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "src/common/bit_util.h"
+#include "src/common/check.h"
+#include "src/common/simd_scan.h"
+#include "src/common/types.h"
+#include "src/filter/filter_interface.h"
+
+namespace asketch {
+
+/// Flat-array filter with compile-time capacity `kItems`.
+template <uint32_t kItems>
+class StaticVectorFilter {
+ public:
+  static_assert(kItems >= 1);
+  static constexpr size_t kPadded = RoundUp(kItems, kSimdBlockElements);
+
+  /// The runtime `capacity` argument exists for FilterType/API symmetry
+  /// and must equal kItems.
+  explicit StaticVectorFilter(uint32_t capacity = kItems) {
+    ASKETCH_CHECK(capacity == kItems);
+    new_counts_.fill(std::numeric_limits<count_t>::max());
+    ids_.fill(0);
+    old_counts_.fill(0);
+  }
+
+  int32_t Find(item_t key) const {
+    return FindKey(ids_.data(), kPadded, size_, key);
+  }
+
+  count_t NewCount(int32_t slot) const { return new_counts_[slot]; }
+  count_t OldCount(int32_t slot) const { return old_counts_[slot]; }
+
+  void AddToNewCount(int32_t slot, delta_t delta) {
+    new_counts_[slot] = SaturatingAdd(new_counts_[slot], delta);
+  }
+
+  void SetCounts(int32_t slot, count_t new_count, count_t old_count) {
+    new_counts_[slot] = new_count;
+    old_counts_[slot] = old_count;
+  }
+
+  void Insert(item_t key, count_t new_count, count_t old_count) {
+    ASKETCH_CHECK(!Full());
+    ASKETCH_DCHECK(Find(key) < 0);
+    ids_[size_] = key;
+    new_counts_[size_] = new_count;
+    old_counts_[size_] = old_count;
+    ++size_;
+  }
+
+  void Remove(int32_t slot) {
+    ASKETCH_DCHECK(slot >= 0 && static_cast<uint32_t>(slot) < size_);
+    --size_;
+    ids_[slot] = ids_[size_];
+    new_counts_[slot] = new_counts_[size_];
+    old_counts_[slot] = old_counts_[size_];
+    new_counts_[size_] = std::numeric_limits<count_t>::max();
+  }
+
+  bool Full() const { return size_ == kItems; }
+
+  count_t MinNewCount() const {
+    ASKETCH_DCHECK(size_ > 0);
+    return new_counts_[MinIndex(new_counts_.data(), kPadded, size_)];
+  }
+
+  FilterEntry EvictMin() {
+    ASKETCH_CHECK(size_ > 0);
+    const int32_t slot = static_cast<int32_t>(
+        MinIndex(new_counts_.data(), kPadded, size_));
+    const FilterEntry entry{ids_[slot], new_counts_[slot],
+                            old_counts_[slot]};
+    Remove(slot);
+    return entry;
+  }
+
+  uint32_t size() const { return size_; }
+  uint32_t capacity() const { return kItems; }
+
+  static constexpr size_t BytesPerItem() {
+    return sizeof(item_t) + 2 * sizeof(count_t);
+  }
+  size_t MemoryUsageBytes() const { return kItems * BytesPerItem(); }
+
+  void Reset() {
+    size_ = 0;
+    new_counts_.fill(std::numeric_limits<count_t>::max());
+  }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (uint32_t i = 0; i < size_; ++i) {
+      fn(FilterEntry{ids_[i], new_counts_[i], old_counts_[i]});
+    }
+  }
+
+  static std::string Name() {
+    return "StaticVector<" + std::to_string(kItems) + ">";
+  }
+
+ private:
+  uint32_t size_ = 0;
+  alignas(32) std::array<uint32_t, kPadded> ids_;
+  alignas(32) std::array<count_t, kPadded> new_counts_;
+  std::array<count_t, kPadded> old_counts_;
+};
+
+static_assert(FilterType<StaticVectorFilter<16>>);
+static_assert(FilterType<StaticVectorFilter<32>>);
+
+}  // namespace asketch
+
+#endif  // ASKETCH_FILTER_STATIC_VECTOR_FILTER_H_

@@ -1,0 +1,84 @@
+#include "src/filter/vector_filter.h"
+
+#include <limits>
+
+#include "src/common/bit_util.h"
+
+namespace asketch {
+
+VectorFilter::VectorFilter(uint32_t capacity) : capacity_(capacity) {
+  ASKETCH_CHECK(capacity >= 1);
+  const size_t padded = RoundUp(capacity, kSimdBlockElements);
+  ids_.assign(padded, 0);
+  new_counts_.assign(padded, std::numeric_limits<count_t>::max());
+  old_counts_.assign(padded, 0);
+}
+
+void VectorFilter::Insert(item_t key, count_t new_count, count_t old_count) {
+  ASKETCH_CHECK(!Full());
+  ASKETCH_DCHECK(Find(key) < 0);
+  ids_[size_] = key;
+  new_counts_[size_] = new_count;
+  old_counts_[size_] = old_count;
+  ++size_;
+}
+
+void VectorFilter::Remove(int32_t slot) {
+  ASKETCH_DCHECK(slot >= 0 && static_cast<uint32_t>(slot) < size_);
+  --size_;
+  ids_[slot] = ids_[size_];
+  new_counts_[slot] = new_counts_[size_];
+  old_counts_[slot] = old_counts_[size_];
+  // Restore the padding sentinel so min scans ignore the vacated cell.
+  new_counts_[size_] = std::numeric_limits<count_t>::max();
+}
+
+namespace {
+constexpr uint32_t kVectorFilterMagic = 0x31544c46;  // "FLT1"
+}  // namespace
+
+bool VectorFilter::SerializeTo(BinaryWriter& writer) const {
+  writer.PutU32(kVectorFilterMagic);
+  writer.PutU32(capacity_);
+  writer.PutU32(size_);
+  for (uint32_t i = 0; i < size_; ++i) {
+    writer.PutU32(ids_[i]);
+    writer.PutU32(new_counts_[i]);
+    writer.PutU32(old_counts_[i]);
+  }
+  return writer.ok();
+}
+
+std::optional<VectorFilter> VectorFilter::DeserializeFrom(
+    BinaryReader& reader) {
+  uint32_t magic = 0, capacity = 0, size = 0;
+  if (!reader.GetU32(&magic) || magic != kVectorFilterMagic) {
+    return std::nullopt;
+  }
+  if (!reader.GetU32(&capacity) || capacity < 1 ||
+      !reader.GetU32(&size) || size > capacity) {
+    return std::nullopt;
+  }
+  VectorFilter filter(capacity);
+  for (uint32_t i = 0; i < size; ++i) {
+    uint32_t key = 0, new_count = 0, old_count = 0;
+    if (!reader.GetU32(&key) || !reader.GetU32(&new_count) ||
+        !reader.GetU32(&old_count)) {
+      return std::nullopt;
+    }
+    if (filter.Find(key) >= 0) return std::nullopt;  // duplicate key
+    filter.Insert(key, new_count, old_count);
+  }
+  return filter;
+}
+
+FilterEntry VectorFilter::EvictMin() {
+  ASKETCH_CHECK(size_ > 0);
+  const int32_t slot = static_cast<int32_t>(
+      MinIndex(new_counts_.data(), new_counts_.size(), size_));
+  const FilterEntry entry{ids_[slot], new_counts_[slot], old_counts_[slot]};
+  Remove(slot);
+  return entry;
+}
+
+}  // namespace asketch

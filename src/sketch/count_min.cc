@@ -1,0 +1,162 @@
+#include "src/sketch/count_min.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace asketch {
+
+std::optional<std::string> CountMinConfig::Validate() const {
+  if (width < 1) return "CountMin width (number of rows) must be >= 1";
+  if (depth < 1) return "CountMin depth (cells per row) must be >= 1";
+  return std::nullopt;
+}
+
+CountMinConfig CountMinConfig::FromSpaceBudget(size_t bytes, uint32_t width,
+                                               uint64_t seed) {
+  CountMinConfig config;
+  config.width = width;
+  config.depth = static_cast<uint32_t>(
+      std::max<size_t>(1, bytes / (static_cast<size_t>(width) *
+                                   sizeof(count_t))));
+  config.seed = seed;
+  return config;
+}
+
+CountMin::CountMin(const CountMinConfig& config) : config_(config) {
+  ASKETCH_CHECK(!config.Validate().has_value());
+  hashes_ = HashFamily(config_.width, config_.depth, config_.seed);
+  cells_.assign(static_cast<size_t>(config_.width) * config_.depth, 0);
+}
+
+void CountMin::Update(item_t key, delta_t delta) {
+  if (config_.policy == CmUpdatePolicy::kConservative && delta > 0) {
+    // Conservative update: the new estimate after this arrival is
+    // old_estimate + delta; no cell needs to exceed that.
+    count_t est = std::numeric_limits<count_t>::max();
+    uint32_t buckets[64];
+    ASKETCH_DCHECK(config_.width <= 64);
+    for (uint32_t row = 0; row < config_.width; ++row) {
+      buckets[row] = hashes_.Bucket(row, key);
+      est = std::min(est, Cell(row, buckets[row]));
+    }
+    const count_t target = SaturatingAdd(est, delta);
+    for (uint32_t row = 0; row < config_.width; ++row) {
+      count_t& cell = Cell(row, buckets[row]);
+      cell = std::max(cell, target);
+    }
+    return;
+  }
+  for (uint32_t row = 0; row < config_.width; ++row) {
+    count_t& cell = Cell(row, hashes_.Bucket(row, key));
+    cell = SaturatingAdd(cell, delta);
+  }
+}
+
+count_t CountMin::UpdateAndEstimate(item_t key, delta_t delta) {
+  if (config_.policy == CmUpdatePolicy::kConservative && delta > 0) {
+    // The conservative path already computes the estimate.
+    Update(key, delta);
+    return Estimate(key);
+  }
+  count_t est = std::numeric_limits<count_t>::max();
+  for (uint32_t row = 0; row < config_.width; ++row) {
+    count_t& cell = Cell(row, hashes_.Bucket(row, key));
+    cell = SaturatingAdd(cell, delta);
+    est = std::min(est, cell);
+  }
+  return est;
+}
+
+count_t CountMin::Estimate(item_t key) const {
+  count_t est = std::numeric_limits<count_t>::max();
+  for (uint32_t row = 0; row < config_.width; ++row) {
+    est = std::min(est, Cell(row, hashes_.Bucket(row, key)));
+  }
+  return est;
+}
+
+void CountMin::Reset() { std::fill(cells_.begin(), cells_.end(), 0); }
+
+namespace {
+constexpr uint32_t kCountMinMagic = 0x314d4d43;  // "CMM1"
+}  // namespace
+
+bool CountMin::CompatibleWith(const CountMin& other) const {
+  return config_.width == other.config_.width &&
+         config_.depth == other.config_.depth &&
+         config_.seed == other.config_.seed;
+}
+
+std::optional<std::string> CountMin::MergeFrom(const CountMin& other) {
+  if (!CompatibleWith(other)) {
+    return "CountMin::MergeFrom: incompatible configs (width/depth/seed "
+           "must match)";
+  }
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i] = SaturatingAdd(cells_[i],
+                              static_cast<delta_t>(other.cells_[i]));
+  }
+  return std::nullopt;
+}
+
+wide_count_t CountMin::InnerProductEstimate(const CountMin& other) const {
+  ASKETCH_CHECK(CompatibleWith(other));
+  wide_count_t best = ~wide_count_t{0};
+  for (uint32_t row = 0; row < config_.width; ++row) {
+    unsigned __int128 dot = 0;
+    for (uint32_t b = 0; b < config_.depth; ++b) {
+      dot += static_cast<unsigned __int128>(Cell(row, b)) *
+             other.Cell(row, b);
+    }
+    const wide_count_t clamped =
+        dot > static_cast<unsigned __int128>(~wide_count_t{0})
+            ? ~wide_count_t{0}
+            : static_cast<wide_count_t>(dot);
+    best = std::min(best, clamped);
+  }
+  return best;
+}
+
+bool CountMin::SerializeTo(BinaryWriter& writer) const {
+  writer.PutU32(kCountMinMagic);
+  writer.PutU32(config_.width);
+  writer.PutU32(config_.depth);
+  writer.PutU64(config_.seed);
+  writer.PutU8(config_.policy == CmUpdatePolicy::kConservative ? 1 : 0);
+  writer.PutPodVector(cells_);
+  return writer.ok();
+}
+
+std::optional<CountMin> CountMin::DeserializeFrom(BinaryReader& reader) {
+  uint32_t magic = 0;
+  CountMinConfig config;
+  uint8_t policy = 0;
+  if (!reader.GetU32(&magic) || magic != kCountMinMagic) {
+    return std::nullopt;
+  }
+  if (!reader.GetU32(&config.width) || !reader.GetU32(&config.depth) ||
+      !reader.GetU64(&config.seed) || !reader.GetU8(&policy)) {
+    return std::nullopt;
+  }
+  config.policy = policy != 0 ? CmUpdatePolicy::kConservative
+                              : CmUpdatePolicy::kPlain;
+  if (config.Validate().has_value()) return std::nullopt;
+  std::vector<count_t> cells;
+  if (!reader.GetPodVector(&cells) ||
+      cells.size() !=
+          static_cast<size_t>(config.width) * config.depth) {
+    return std::nullopt;
+  }
+  CountMin sketch(config);
+  sketch.cells_ = std::move(cells);
+  return sketch;
+}
+
+wide_count_t CountMin::RowSum(uint32_t row) const {
+  ASKETCH_CHECK(row < config_.width);
+  wide_count_t sum = 0;
+  for (uint32_t b = 0; b < config_.depth; ++b) sum += Cell(row, b);
+  return sum;
+}
+
+}  // namespace asketch

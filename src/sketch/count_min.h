@@ -1,0 +1,132 @@
+// Count-Min sketch (Cormode & Muthukrishnan, J. Algorithms 2005).
+//
+// A 2-dimensional array of w rows (one pairwise-independent hash function
+// per row) and h cells per row. Every update adds the delta to one cell per
+// row; a point query returns the minimum over the w hashed cells. For a
+// strict stream of total count N the estimate errs by at most (e/h)·N with
+// probability at least 1 − e^{−w} (one-sided: never an under-estimate).
+//
+// This is the default sketch backend for ASketch, the baseline in every
+// paper experiment, and the underlying sketch of Holistic UDAFs.
+
+#ifndef ASKETCH_SKETCH_COUNT_MIN_H_
+#define ASKETCH_SKETCH_COUNT_MIN_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/hashing.h"
+#include "src/common/serialize.h"
+#include "src/common/types.h"
+
+namespace asketch {
+
+/// Cell-update policies for CountMin.
+enum class CmUpdatePolicy {
+  /// Classic Count-Min: every hashed cell receives the full delta.
+  kPlain,
+  /// Conservative update (Estan & Varghese): a positive delta only raises
+  /// the hashed cells up to max(estimate + delta, cell) — strictly more
+  /// accurate for point queries, still one-sided, but only defined for
+  /// insertions (negative deltas fall back to plain subtraction).
+  kConservative,
+};
+
+/// Configuration for CountMin. `width` is the number of hash functions
+/// (rows, "w" in the paper); `depth` is the range of each hash function
+/// (cells per row, "h" in the paper).
+struct CountMinConfig {
+  uint32_t width = 8;
+  uint32_t depth = 4096;
+  uint64_t seed = 42;
+  CmUpdatePolicy policy = CmUpdatePolicy::kPlain;
+
+  /// Returns an error message if invalid, std::nullopt otherwise.
+  std::optional<std::string> Validate() const;
+
+  /// Config with `width` rows whose total cell storage fits `bytes`.
+  /// depth = bytes / (width * sizeof(count_t)).
+  static CountMinConfig FromSpaceBudget(size_t bytes, uint32_t width,
+                                        uint64_t seed = 42);
+};
+
+/// The Count-Min sketch.
+class CountMin {
+ public:
+  /// Constructs from a validated config (CHECK-fails on invalid configs;
+  /// call config.Validate() first for recoverable handling).
+  explicit CountMin(const CountMinConfig& config);
+
+  /// Applies tuple (key, delta). Negative deltas model deletions and are
+  /// valid as long as the stream stays strict (no true count below zero).
+  void Update(item_t key, delta_t delta = 1);
+
+  /// Point query: min over the hashed cells. Never under-estimates on
+  /// strict streams.
+  count_t Estimate(item_t key) const;
+
+  /// Update(key, delta) followed by Estimate(key), hashing only once —
+  /// the fused form Algorithm 1's miss path wants (line 8 + line 9).
+  count_t UpdateAndEstimate(item_t key, delta_t delta);
+
+  /// Clears all cells; hash functions are kept.
+  void Reset();
+
+  uint32_t width() const { return config_.width; }
+  uint32_t depth() const { return config_.depth; }
+  const CountMinConfig& config() const { return config_; }
+
+  /// Sum of all cells in one row == total stream count pushed through the
+  /// sketch (plain policy only). Used by tests and the selectivity model.
+  wide_count_t RowSum(uint32_t row) const;
+
+  /// Storage footprint of the cell array in bytes.
+  size_t MemoryUsageBytes() const {
+    return cells_.size() * sizeof(count_t);
+  }
+
+  /// True if `other` was built with the same width, depth, and seed —
+  /// the precondition for MergeFrom (the two share hash functions).
+  bool CompatibleWith(const CountMin& other) const;
+
+  /// Adds `other`'s cells into this sketch (saturating). Count-Min is
+  /// linearly mergeable: the merged sketch answers queries over the
+  /// union of both streams with the usual one-sided guarantee. Returns
+  /// an error message on an incompatible configuration.
+  std::optional<std::string> MergeFrom(const CountMin& other);
+
+  /// Estimates the inner product of the two summarized frequency vectors
+  /// Σ_k f_this(k)·f_other(k) — the classic sketch join-size estimator
+  /// (min over rows of the row dot products; never an under-estimate on
+  /// strict streams). The sketches must be CompatibleWith each other;
+  /// CHECK-fails otherwise.
+  wide_count_t InnerProductEstimate(const CountMin& other) const;
+
+  /// Writes config + cells; hash functions are reconstructed from the
+  /// seed on load.
+  bool SerializeTo(BinaryWriter& writer) const;
+
+  /// Inverse of SerializeTo; std::nullopt on malformed input.
+  static std::optional<CountMin> DeserializeFrom(BinaryReader& reader);
+
+  std::string Name() const { return "CountMin"; }
+
+ private:
+  count_t& Cell(uint32_t row, uint32_t bucket) {
+    return cells_[static_cast<size_t>(row) * config_.depth + bucket];
+  }
+  const count_t& Cell(uint32_t row, uint32_t bucket) const {
+    return cells_[static_cast<size_t>(row) * config_.depth + bucket];
+  }
+
+  CountMinConfig config_;
+  HashFamily hashes_;
+  std::vector<count_t> cells_;
+};
+
+}  // namespace asketch
+
+#endif  // ASKETCH_SKETCH_COUNT_MIN_H_

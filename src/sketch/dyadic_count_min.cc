@@ -1,0 +1,234 @@
+#include "src/sketch/dyadic_count_min.h"
+
+#include <algorithm>
+
+namespace asketch {
+
+std::optional<std::string> DyadicCountMinConfig::Validate() const {
+  if (domain_bits < 1 || domain_bits > 32) {
+    return std::string("domain_bits must be in [1, 32]");
+  }
+  if (width < 1) return std::string("width must be >= 1");
+  if (total_bytes < 1024) {
+    return std::string("total_bytes must be >= 1KB");
+  }
+  return std::nullopt;
+}
+
+DyadicCountMin::DyadicCountMin(const DyadicCountMinConfig& config)
+    : config_(config) {
+  ASKETCH_CHECK(!config.Validate().has_value());
+  // Level L covers 2^(bits-L) intervals; levels 0..bits-1 need storage
+  // (the root, level `bits`, is just total_). First decide which levels
+  // can be exact within an even share of the budget, then give the
+  // remaining (hashed) levels the rest.
+  const uint32_t num_levels = config_.domain_bits;
+  levels_.resize(num_levels);
+  const size_t even_share = config_.total_bytes / num_levels;
+  size_t hashed_levels = 0;
+  for (uint32_t level = 0; level < num_levels; ++level) {
+    const uint64_t intervals = uint64_t{1} << (config_.domain_bits - level);
+    if (intervals * sizeof(count_t) > even_share) ++hashed_levels;
+  }
+  size_t exact_bytes = 0;
+  for (uint32_t level = 0; level < num_levels; ++level) {
+    const uint64_t intervals = uint64_t{1} << (config_.domain_bits - level);
+    if (intervals * sizeof(count_t) <= even_share) {
+      levels_[level].exact.assign(intervals, 0);
+      exact_bytes += intervals * sizeof(count_t);
+    }
+  }
+  const size_t hashed_budget =
+      config_.total_bytes > exact_bytes ? config_.total_bytes - exact_bytes
+                                        : 1024;
+  const size_t per_hashed =
+      hashed_levels > 0 ? hashed_budget / hashed_levels : 0;
+  for (uint32_t level = 0; level < num_levels; ++level) {
+    if (levels_[level].exact.empty()) {
+      levels_[level].sketch.emplace(CountMinConfig::FromSpaceBudget(
+          std::max<size_t>(per_hashed, 64), config_.width,
+          config_.seed + level));
+    }
+  }
+}
+
+void DyadicCountMin::Update(item_t key, delta_t delta) {
+  ASKETCH_DCHECK(config_.domain_bits == 32 ||
+                 key < (uint64_t{1} << config_.domain_bits));
+  for (uint32_t level = 0; level < levels_.size(); ++level) {
+    const uint64_t prefix = static_cast<uint64_t>(key) >> level;
+    Level& l = levels_[level];
+    if (!l.exact.empty()) {
+      l.exact[prefix] = SaturatingAdd(l.exact[prefix], delta);
+    } else {
+      l.sketch->Update(static_cast<item_t>(prefix), delta);
+    }
+  }
+  total_ = static_cast<wide_count_t>(
+      std::max<int64_t>(0, static_cast<int64_t>(total_) + delta));
+}
+
+count_t DyadicCountMin::LevelEstimate(uint32_t level,
+                                      uint64_t prefix) const {
+  if (level >= levels_.size()) {
+    // The root: clamp the running total into count_t.
+    return static_cast<count_t>(
+        std::min<wide_count_t>(total_, ~count_t{0}));
+  }
+  const Level& l = levels_[level];
+  if (!l.exact.empty()) return l.exact[prefix];
+  return l.sketch->Estimate(static_cast<item_t>(prefix));
+}
+
+wide_count_t DyadicCountMin::RangeSum(item_t lo, item_t hi) const {
+  ASKETCH_CHECK(lo <= hi);
+  wide_count_t sum = 0;
+  uint64_t left = lo;
+  uint64_t right = hi;
+  uint32_t level = 0;
+  // Standard dyadic decomposition (segment-tree style): peel off
+  // unaligned endpoints, then ascend one level.
+  while (left <= right) {
+    if ((left & 1) == 1) {
+      sum += LevelEstimate(level, left);
+      ++left;
+    }
+    if ((right & 1) == 0) {
+      sum += LevelEstimate(level, right);
+      if (right == 0) return sum;  // cannot go below zero
+      --right;
+    }
+    if (left > right) break;
+    left >>= 1;
+    right >>= 1;
+    ++level;
+    // The loop always terminates through the peeling branches: once
+    // left == right the next iteration peels it (whatever its parity),
+    // at the root (level == levels_.size()) LevelEstimate returns the
+    // exact running total.
+  }
+  return sum;
+}
+
+std::vector<RangeHeavyHitter> DyadicCountMin::HeavyHitters(
+    count_t threshold) const {
+  ASKETCH_CHECK(threshold >= 1);
+  std::vector<RangeHeavyHitter> result;
+  // Depth-first descent from the two halves of the root.
+  struct Frame {
+    uint32_t level;
+    uint64_t prefix;
+  };
+  std::vector<Frame> stack;
+  const uint32_t top = static_cast<uint32_t>(levels_.size()) - 1;
+  stack.push_back(Frame{top, 0});
+  stack.push_back(Frame{top, 1});
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    const count_t estimate = LevelEstimate(frame.level, frame.prefix);
+    if (estimate < threshold) continue;
+    if (frame.level == 0) {
+      result.push_back(RangeHeavyHitter{
+          static_cast<item_t>(frame.prefix), estimate});
+      continue;
+    }
+    stack.push_back(Frame{frame.level - 1, frame.prefix * 2});
+    stack.push_back(Frame{frame.level - 1, frame.prefix * 2 + 1});
+  }
+  std::sort(result.begin(), result.end(),
+            [](const RangeHeavyHitter& a, const RangeHeavyHitter& b) {
+              if (a.estimate != b.estimate) return a.estimate > b.estimate;
+              return a.key < b.key;
+            });
+  return result;
+}
+
+size_t DyadicCountMin::MemoryUsageBytes() const {
+  size_t bytes = 0;
+  for (const Level& level : levels_) {
+    if (!level.exact.empty()) {
+      bytes += level.exact.size() * sizeof(count_t);
+    } else {
+      bytes += level.sketch->MemoryUsageBytes();
+    }
+  }
+  return bytes;
+}
+
+namespace {
+constexpr uint32_t kDyadicMagic = 0x31434451;  // "QDC1"
+}  // namespace
+
+bool DyadicCountMin::SerializeTo(BinaryWriter& writer) const {
+  writer.PutU32(kDyadicMagic);
+  writer.PutU32(config_.domain_bits);
+  writer.PutU32(config_.width);
+  writer.PutU64(config_.total_bytes);
+  writer.PutU64(config_.seed);
+  writer.PutU64(total_);
+  for (const Level& level : levels_) {
+    writer.PutU8(level.exact.empty() ? 0 : 1);
+    if (!level.exact.empty()) {
+      writer.PutPodVector(level.exact);
+    } else if (!level.sketch->SerializeTo(writer)) {
+      return false;
+    }
+  }
+  return writer.ok();
+}
+
+std::optional<DyadicCountMin> DyadicCountMin::DeserializeFrom(
+    BinaryReader& reader) {
+  uint32_t magic = 0;
+  DyadicCountMinConfig config;
+  uint64_t total_bytes = 0, total = 0;
+  if (!reader.GetU32(&magic) || magic != kDyadicMagic) {
+    return std::nullopt;
+  }
+  if (!reader.GetU32(&config.domain_bits) || !reader.GetU32(&config.width) ||
+      !reader.GetU64(&total_bytes) || !reader.GetU64(&config.seed) ||
+      !reader.GetU64(&total)) {
+    return std::nullopt;
+  }
+  config.total_bytes = total_bytes;
+  if (config.Validate().has_value()) return std::nullopt;
+  DyadicCountMin sketch(config);
+  sketch.total_ = total;
+  for (Level& level : sketch.levels_) {
+    uint8_t is_exact = 0;
+    if (!reader.GetU8(&is_exact)) return std::nullopt;
+    // The exact/hashed split is a deterministic function of the config,
+    // so a mismatch indicates corruption.
+    if ((is_exact != 0) != !level.exact.empty()) return std::nullopt;
+    if (is_exact != 0) {
+      std::vector<count_t> cells;
+      if (!reader.GetPodVector(&cells) ||
+          cells.size() != level.exact.size()) {
+        return std::nullopt;
+      }
+      level.exact = std::move(cells);
+    } else {
+      auto restored = CountMin::DeserializeFrom(reader);
+      if (!restored.has_value() ||
+          !restored->CompatibleWith(*level.sketch)) {
+        return std::nullopt;
+      }
+      level.sketch = *std::move(restored);
+    }
+  }
+  return sketch;
+}
+
+void DyadicCountMin::Reset() {
+  total_ = 0;
+  for (Level& level : levels_) {
+    if (!level.exact.empty()) {
+      std::fill(level.exact.begin(), level.exact.end(), 0);
+    } else {
+      level.sketch->Reset();
+    }
+  }
+}
+
+}  // namespace asketch

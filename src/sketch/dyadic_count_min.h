@@ -1,0 +1,103 @@
+// Dyadic Count-Min: range queries and hierarchical heavy hitters.
+//
+// The "hierarchical data structure" route to top-k/heavy-hitter queries
+// referenced in §2 of the ASketch paper (Cormode & Muthukrishnan's
+// count-min range-query construction). The key domain [0, 2^bits) is
+// covered by bits+1 dyadic levels; level L summarizes the counts of the
+// 2^(bits-L) aligned intervals of length 2^L. A range sum decomposes
+// into at most 2·bits canonical intervals, each answered by one level;
+// heavy hitters are found by descending from the root and expanding only
+// the children whose estimate clears the threshold.
+//
+// Levels whose domain is small enough to afford one exact counter per
+// interval store exact counts (no hashing); larger levels each hold a
+// Count-Min. All estimates are one-sided on strict streams, so range
+// sums and the heavy-hitter descent never miss (no false negatives).
+
+#ifndef ASKETCH_SKETCH_DYADIC_COUNT_MIN_H_
+#define ASKETCH_SKETCH_DYADIC_COUNT_MIN_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/serialize.h"
+#include "src/common/types.h"
+#include "src/sketch/count_min.h"
+
+namespace asketch {
+
+/// Configuration for DyadicCountMin.
+struct DyadicCountMinConfig {
+  /// Number of key bits covered; keys must lie in [0, 2^domain_bits).
+  uint32_t domain_bits = 32;
+  /// Rows per per-level Count-Min.
+  uint32_t width = 4;
+  /// Total byte budget across all levels (split evenly over the levels
+  /// that need hashing).
+  size_t total_bytes = 256 * 1024;
+  uint64_t seed = 42;
+
+  std::optional<std::string> Validate() const;
+};
+
+/// A heavy hitter reported by the hierarchical descent.
+struct RangeHeavyHitter {
+  item_t key = 0;
+  count_t estimate = 0;
+};
+
+/// The dyadic Count-Min structure.
+class DyadicCountMin {
+ public:
+  explicit DyadicCountMin(const DyadicCountMinConfig& config);
+
+  /// Applies tuple (key, delta) to every level. Negative deltas model
+  /// deletions (strict streams only).
+  void Update(item_t key, delta_t delta = 1);
+
+  /// Point query (level 0).
+  count_t Estimate(item_t key) const { return LevelEstimate(0, key); }
+
+  /// Over-estimate of the total count of keys in [lo, hi] (inclusive).
+  wide_count_t RangeSum(item_t lo, item_t hi) const;
+
+  /// All keys whose estimated count is >= threshold, found by dyadic
+  /// descent; complete (every key with true count >= threshold is
+  /// reported) because estimates never under-count.
+  std::vector<RangeHeavyHitter> HeavyHitters(count_t threshold) const;
+
+  /// Total stream weight processed (the root level's count).
+  wide_count_t Total() const { return total_; }
+
+  uint32_t domain_bits() const { return config_.domain_bits; }
+  size_t MemoryUsageBytes() const;
+
+  void Reset();
+
+  bool SerializeTo(BinaryWriter& writer) const;
+  static std::optional<DyadicCountMin> DeserializeFrom(
+      BinaryReader& reader);
+
+  std::string Name() const { return "DyadicCountMin"; }
+
+ private:
+  /// Estimated count of the dyadic interval `prefix` at `level`
+  /// (covering keys [prefix << level, (prefix+1) << level - 1]).
+  count_t LevelEstimate(uint32_t level, uint64_t prefix) const;
+
+  DyadicCountMinConfig config_;
+  wide_count_t total_ = 0;
+  // Per level: either an exact array (small domains) or a Count-Min.
+  struct Level {
+    std::vector<count_t> exact;  // non-empty => exact level
+    std::optional<CountMin> sketch;
+  };
+  std::vector<Level> levels_;
+};
+
+}  // namespace asketch
+
+#endif  // ASKETCH_SKETCH_DYADIC_COUNT_MIN_H_

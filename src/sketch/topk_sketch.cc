@@ -1,0 +1,55 @@
+#include "src/sketch/topk_sketch.h"
+
+#include <algorithm>
+
+namespace asketch {
+
+TopKCountMin::TopKCountMin(uint32_t k, const CountMinConfig& sketch_config)
+    : sketch_(sketch_config), candidates_(k) {
+  ASKETCH_CHECK(k >= 1);
+}
+
+TopKCountMin TopKCountMin::FromSpaceBudget(size_t bytes, uint32_t width,
+                                           uint32_t k, uint64_t seed) {
+  const size_t candidate_bytes = k * StreamSummary::BytesPerItem();
+  ASKETCH_CHECK(candidate_bytes < bytes);
+  return TopKCountMin(
+      k, CountMinConfig::FromSpaceBudget(bytes - candidate_bytes, width,
+                                         seed));
+}
+
+void TopKCountMin::Update(item_t key, count_t weight) {
+  ASKETCH_CHECK(weight >= 1);
+  sketch_.Update(key, weight);
+  const count_t estimate = sketch_.Estimate(key);
+  const uint32_t node = candidates_.Find(key);
+  if (node != kSummaryNil) {
+    // Estimates are monotone under insertions; refresh in place.
+    candidates_.MoveToCount(node, estimate);
+    return;
+  }
+  if (!candidates_.Full()) {
+    candidates_.Insert(key, estimate, 0);
+    return;
+  }
+  if (estimate > candidates_.MinCount()) {
+    candidates_.Remove(candidates_.MinNode());
+    candidates_.Insert(key, estimate, 0);
+  }
+}
+
+std::vector<TopKEntry> TopKCountMin::TopK() const {
+  std::vector<TopKEntry> entries;
+  entries.reserve(candidates_.size());
+  candidates_.ForEach([&entries](item_t key, count_t count, count_t) {
+    entries.push_back(TopKEntry{key, count});
+  });
+  std::sort(entries.begin(), entries.end(),
+            [](const TopKEntry& a, const TopKEntry& b) {
+              if (a.estimate != b.estimate) return a.estimate > b.estimate;
+              return a.key < b.key;
+            });
+  return entries;
+}
+
+}  // namespace asketch

@@ -1,0 +1,74 @@
+// Count-Min with a candidate set for top-k queries.
+//
+// §2 of the ASketch paper: "Sketches can support top-k queries with an
+// additional heap [Charikar et al.] or a hierarchical data structure".
+// This is that classic baseline: every update refreshes the key's sketch
+// estimate and a bounded candidate set (a count-ordered stream-summary,
+// serving as the 'heap') keeps the k keys with the largest estimates seen
+// so far. Against ASketch's filter-based top-k (§7.2.2) this baseline
+// pays the full sketch update for every arrival and its reported counts
+// carry sketch noise instead of exact filter counts.
+
+#ifndef ASKETCH_SKETCH_TOPK_SKETCH_H_
+#define ASKETCH_SKETCH_TOPK_SKETCH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/stream_summary.h"
+#include "src/common/types.h"
+#include "src/sketch/count_min.h"
+
+namespace asketch {
+
+/// One reported top-k entry.
+struct TopKEntry {
+  item_t key = 0;
+  count_t estimate = 0;
+};
+
+/// Count-Min + candidate heap top-k tracker.
+class TopKCountMin {
+ public:
+  /// `k` candidates over a Count-Min built from `sketch_config`.
+  TopKCountMin(uint32_t k, const CountMinConfig& sketch_config);
+
+  /// Budget-based construction: the candidate set's storage is carved
+  /// out of `bytes` like the ASketch filter is.
+  static TopKCountMin FromSpaceBudget(size_t bytes, uint32_t width,
+                                      uint32_t k, uint64_t seed = 42);
+
+  /// Processes `weight` arrivals of `key` (>= 1; this baseline does not
+  /// track deletions in the candidate set).
+  void Update(item_t key, count_t weight = 1);
+
+  /// Point query (the underlying sketch's estimate).
+  count_t Estimate(item_t key) const { return sketch_.Estimate(key); }
+
+  /// The current top-k candidates, sorted by descending estimate.
+  std::vector<TopKEntry> TopK() const;
+
+  uint32_t k() const { return candidates_.capacity(); }
+  const CountMin& sketch() const { return sketch_; }
+
+  size_t MemoryUsageBytes() const {
+    return sketch_.MemoryUsageBytes() + candidates_.MemoryUsageBytes();
+  }
+
+  void Reset() {
+    sketch_.Reset();
+    candidates_.Reset();
+  }
+
+  std::string Name() const { return "TopKCountMin"; }
+
+ private:
+  CountMin sketch_;
+  StreamSummary candidates_;  // count = current estimate, aux unused
+};
+
+}  // namespace asketch
+
+#endif  // ASKETCH_SKETCH_TOPK_SKETCH_H_

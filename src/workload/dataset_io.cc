@@ -1,0 +1,69 @@
+#include "src/workload/dataset_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+namespace asketch {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x41534b31;  // "ASK1"
+constexpr uint32_t kVersion = 1;
+
+struct FileHeader {
+  uint32_t magic = kMagic;
+  uint32_t version = kVersion;
+  uint64_t num_tuples = 0;
+};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+std::optional<std::string> WriteStreamFile(const std::string& path,
+                                           const std::vector<Tuple>& stream) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) return "cannot open for writing: " + path;
+  FileHeader header;
+  header.num_tuples = stream.size();
+  if (std::fwrite(&header, sizeof(header), 1, file.get()) != 1) {
+    return "short write (header): " + path;
+  }
+  // Tuple is a packed pair of u32s; write it directly.
+  static_assert(sizeof(Tuple) == 2 * sizeof(uint32_t));
+  if (!stream.empty() &&
+      std::fwrite(stream.data(), sizeof(Tuple), stream.size(), file.get()) !=
+          stream.size()) {
+    return "short write (tuples): " + path;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> ReadStreamFile(const std::string& path,
+                                          std::vector<Tuple>* stream) {
+  stream->clear();
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) return "cannot open for reading: " + path;
+  FileHeader header;
+  if (std::fread(&header, sizeof(header), 1, file.get()) != 1) {
+    return "short read (header): " + path;
+  }
+  if (header.magic != kMagic) return "bad magic in " + path;
+  if (header.version != kVersion) return "unsupported version in " + path;
+  stream->resize(header.num_tuples);
+  if (header.num_tuples != 0 &&
+      std::fread(stream->data(), sizeof(Tuple), header.num_tuples,
+                 file.get()) != header.num_tuples) {
+    stream->clear();
+    return "short read (tuples): " + path;
+  }
+  return std::nullopt;
+}
+
+}  // namespace asketch

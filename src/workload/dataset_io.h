@@ -1,0 +1,30 @@
+// Binary (de)serialization of streams.
+//
+// Lets expensive streams be generated once and replayed across benchmark
+// runs, and lets users feed their own traces to the examples. Format:
+// a fixed little-endian header (magic, version, tuple count) followed by
+// packed (key: u32, value: u32) pairs.
+
+#ifndef ASKETCH_WORKLOAD_DATASET_IO_H_
+#define ASKETCH_WORKLOAD_DATASET_IO_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace asketch {
+
+/// Writes `stream` to `path`. Returns an error message on failure.
+std::optional<std::string> WriteStreamFile(const std::string& path,
+                                           const std::vector<Tuple>& stream);
+
+/// Reads a stream previously written by WriteStreamFile. On failure
+/// returns an error message and leaves `stream` empty.
+std::optional<std::string> ReadStreamFile(const std::string& path,
+                                          std::vector<Tuple>* stream);
+
+}  // namespace asketch
+
+#endif  // ASKETCH_WORKLOAD_DATASET_IO_H_

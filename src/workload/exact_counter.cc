@@ -1,0 +1,27 @@
+#include "src/workload/exact_counter.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace asketch {
+
+std::vector<item_t> ExactCounter::KeysByFrequency() const {
+  std::vector<item_t> keys(counts_.size());
+  std::iota(keys.begin(), keys.end(), 0);
+  std::sort(keys.begin(), keys.end(), [this](item_t a, item_t b) {
+    if (counts_[a] != counts_[b]) return counts_[a] > counts_[b];
+    return a < b;
+  });
+  return keys;
+}
+
+wide_count_t ExactCounter::CountOfRank(uint32_t k) const {
+  if (k == 0 || k > counts_.size()) return 0;
+  // nth_element on a copy: O(M) instead of a full sort.
+  std::vector<wide_count_t> copy = counts_;
+  std::nth_element(copy.begin(), copy.begin() + (k - 1), copy.end(),
+                   std::greater<wide_count_t>());
+  return copy[k - 1];
+}
+
+}  // namespace asketch

@@ -1,0 +1,115 @@
+#include "src/workload/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/common/check.h"
+
+namespace asketch {
+
+namespace {
+
+double AbsDiff(count_t estimate, wide_count_t truth) {
+  const double e = static_cast<double>(estimate);
+  const double t = static_cast<double>(truth);
+  return std::abs(e - t);
+}
+
+}  // namespace
+
+double ObservedError(const std::vector<item_t>& queries,
+                     const EstimateFn& estimate, const ExactCounter& truth) {
+  ASKETCH_CHECK(!queries.empty());
+  double error_sum = 0;
+  double true_sum = 0;
+  for (const item_t key : queries) {
+    const wide_count_t t = truth.Count(key);
+    error_sum += AbsDiff(estimate(key), t);
+    true_sum += static_cast<double>(t);
+  }
+  ASKETCH_CHECK(true_sum > 0);
+  return error_sum / true_sum;
+}
+
+double AverageRelativeError(const std::vector<item_t>& queries,
+                            const EstimateFn& estimate,
+                            const ExactCounter& truth) {
+  ASKETCH_CHECK(!queries.empty());
+  double sum = 0;
+  uint64_t counted = 0;
+  for (const item_t key : queries) {
+    const wide_count_t t = truth.Count(key);
+    if (t == 0) continue;
+    sum += AbsDiff(estimate(key), t) / static_cast<double>(t);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+double PrecisionAtK(const std::vector<item_t>& reported,
+                    const ExactCounter& truth, uint32_t k) {
+  ASKETCH_CHECK(k >= 1);
+  const wide_count_t threshold = truth.CountOfRank(k);
+  uint32_t hits = 0;
+  uint32_t considered = 0;
+  for (const item_t key : reported) {
+    if (considered == k) break;
+    ++considered;
+    if (threshold > 0 && truth.Count(key) >= threshold) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+std::vector<Misclassification> FindMisclassifiedKeys(
+    const EstimateFn& estimate, const ExactCounter& truth, uint32_t k,
+    uint32_t low_frequency_divisor) {
+  ASKETCH_CHECK(k >= 1);
+  ASKETCH_CHECK(low_frequency_divisor >= 1);
+  const wide_count_t threshold = truth.CountOfRank(k);
+  std::vector<Misclassification> result;
+  if (threshold == 0) return result;
+  const wide_count_t low_cutoff = threshold / low_frequency_divisor;
+  for (uint32_t key = 0; key < truth.domain_size(); ++key) {
+    const wide_count_t t = truth.Count(key);
+    if (t >= low_cutoff || t >= threshold) continue;  // not "low-frequency"
+    const count_t est = estimate(key);
+    if (est >= threshold) {
+      result.push_back(Misclassification{key, t, est});
+    }
+  }
+  return result;
+}
+
+double TopErrorItemsMeanError(const EstimateFn& estimate,
+                              const ExactCounter& truth, uint32_t top_n) {
+  ASKETCH_CHECK(top_n >= 1);
+  std::vector<double> errors;
+  errors.reserve(truth.domain_size());
+  for (uint32_t key = 0; key < truth.domain_size(); ++key) {
+    errors.push_back(AbsDiff(estimate(key), truth.Count(key)));
+  }
+  const uint32_t n = std::min<uint32_t>(top_n, errors.size());
+  std::nth_element(errors.begin(), errors.begin() + (n - 1), errors.end(),
+                   std::greater<double>());
+  double sum = 0;
+  for (uint32_t i = 0; i < n; ++i) sum += errors[i];
+  return sum / n;
+}
+
+double LowFrequencyAverageRelativeError(const EstimateFn& estimate,
+                                        const ExactCounter& truth,
+                                        uint32_t k) {
+  const wide_count_t threshold = truth.CountOfRank(k);
+  double sum = 0;
+  uint64_t counted = 0;
+  for (uint32_t key = 0; key < truth.domain_size(); ++key) {
+    const wide_count_t t = truth.Count(key);
+    if (t == 0 || t >= threshold) continue;
+    sum += AbsDiff(estimate(key), t) / static_cast<double>(t);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+}  // namespace asketch

@@ -1,0 +1,83 @@
+// Accuracy metrics — the exact definitions of §7.1.
+//
+//   Observed error   = Σ|est_i − true_i| / Σ true_i over the queried keys.
+//   Avg. rel. error  = mean(|est_i − true_i| / true_i) over queried keys
+//                      (biased toward low-frequency keys by construction).
+//   Precision-at-k   = |reported top-k ∩ true top-k| / k.
+//
+// Plus the misclassification analysis of Tables 3 / Fig. 6: a key is
+// "misclassified" when its estimate reaches the count of the true k-th
+// most frequent key although the key itself is not in the true top-k —
+// i.e. a cold key that a top-k report built from estimates would admit.
+
+#ifndef ASKETCH_WORKLOAD_METRICS_H_
+#define ASKETCH_WORKLOAD_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/workload/exact_counter.h"
+
+namespace asketch {
+
+/// Point-query function: key -> estimated count. Wraps any estimator.
+using EstimateFn = std::function<count_t(item_t)>;
+
+/// Observed error over `queries` (§7.1). Queries of keys with true count 0
+/// contribute their estimate to the numerator only.
+double ObservedError(const std::vector<item_t>& queries,
+                     const EstimateFn& estimate, const ExactCounter& truth);
+
+/// Average relative error over `queries`; keys with true count 0 are
+/// skipped (their relative error is undefined).
+double AverageRelativeError(const std::vector<item_t>& queries,
+                            const EstimateFn& estimate,
+                            const ExactCounter& truth);
+
+/// Precision-at-k of a reported top-k list: the fraction of reported keys
+/// whose true count is at least the true k-th largest count (this handles
+/// ties the way the paper's precision metric behaves).
+double PrecisionAtK(const std::vector<item_t>& reported,
+                    const ExactCounter& truth, uint32_t k);
+
+/// A misclassified key and its error magnitudes.
+struct Misclassification {
+  item_t key = 0;
+  wide_count_t true_count = 0;
+  count_t estimate = 0;
+
+  double RelativeError() const {
+    return true_count == 0
+               ? static_cast<double>(estimate)
+               : static_cast<double>(estimate - true_count) /
+                     static_cast<double>(true_count);
+  }
+};
+
+/// Scans the whole key domain and returns every key whose estimate is >=
+/// the true count of the k-th most frequent key although its own true
+/// count is below threshold / low_frequency_divisor (Table 3's
+/// "low-frequency items misleadingly appearing as high-frequency
+/// items"). divisor = 1 flags every non-top-k key that would sneak into
+/// a top-k report; larger divisors restrict to genuinely cold keys.
+std::vector<Misclassification> FindMisclassifiedKeys(
+    const EstimateFn& estimate, const ExactCounter& truth, uint32_t k,
+    uint32_t low_frequency_divisor = 1);
+
+/// Mean absolute error |est − true| of the `top_n` keys with the largest
+/// absolute error, scanning the whole domain (Table 7's "average
+/// accumulative error for top-10 error items").
+double TopErrorItemsMeanError(const EstimateFn& estimate,
+                              const ExactCounter& truth, uint32_t top_n);
+
+/// Average relative error over all keys OUTSIDE the true top-k with
+/// positive true counts (Fig. 16's "all low-frequency items").
+double LowFrequencyAverageRelativeError(const EstimateFn& estimate,
+                                        const ExactCounter& truth,
+                                        uint32_t k);
+
+}  // namespace asketch
+
+#endif  // ASKETCH_WORKLOAD_METRICS_H_

@@ -1,0 +1,34 @@
+#include "src/workload/query_generator.h"
+
+#include "src/common/check.h"
+
+namespace asketch {
+
+std::vector<item_t> GenerateQueries(const std::vector<Tuple>& stream,
+                                    uint32_t num_distinct,
+                                    uint64_t num_queries,
+                                    QuerySampling sampling, uint64_t seed) {
+  std::vector<item_t> queries;
+  queries.reserve(num_queries);
+  Rng rng(seed);
+  switch (sampling) {
+    case QuerySampling::kFrequencyProportional: {
+      ASKETCH_CHECK(!stream.empty());
+      for (uint64_t i = 0; i < num_queries; ++i) {
+        queries.push_back(stream[rng.NextBounded(stream.size())].key);
+      }
+      break;
+    }
+    case QuerySampling::kUniformOverDistinct: {
+      ASKETCH_CHECK(num_distinct >= 1);
+      for (uint64_t i = 0; i < num_queries; ++i) {
+        queries.push_back(
+            static_cast<item_t>(rng.NextBounded(num_distinct)));
+      }
+      break;
+    }
+  }
+  return queries;
+}
+
+}  // namespace asketch

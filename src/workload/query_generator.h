@@ -1,0 +1,40 @@
+// Query workload generation (§7.1 "Query and Parameters Setting").
+//
+// The paper evaluates frequency-estimation queries "obtained by sampling
+// the data items based on their frequencies": a key is queried with
+// probability proportional to its frequency in the stream, i.e. hot keys
+// are queried more. That is exactly sampling uniform positions of the
+// stream, which is how kFrequencyProportional is implemented. The
+// kUniformOverDistinct mode queries every distinct key with equal
+// probability (used by the misclassification analysis, which must visit
+// the cold tail).
+
+#ifndef ASKETCH_WORKLOAD_QUERY_GENERATOR_H_
+#define ASKETCH_WORKLOAD_QUERY_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/types.h"
+
+namespace asketch {
+
+/// How query keys are drawn.
+enum class QuerySampling {
+  /// P(query = k) ∝ frequency of k — the paper's default.
+  kFrequencyProportional,
+  /// Every distinct key equally likely.
+  kUniformOverDistinct,
+};
+
+/// Draws `num_queries` query keys from `stream` under `sampling`.
+/// For kUniformOverDistinct, keys are drawn from [0, num_distinct).
+std::vector<item_t> GenerateQueries(const std::vector<Tuple>& stream,
+                                    uint32_t num_distinct,
+                                    uint64_t num_queries,
+                                    QuerySampling sampling, uint64_t seed);
+
+}  // namespace asketch
+
+#endif  // ASKETCH_WORKLOAD_QUERY_GENERATOR_H_

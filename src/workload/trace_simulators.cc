@@ -1,0 +1,45 @@
+#include "src/workload/trace_simulators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace asketch {
+
+namespace {
+
+StreamSpec ScaledSpec(uint64_t full_n, uint32_t full_m, double skew,
+                      double scale, uint64_t seed) {
+  ASKETCH_CHECK(scale > 0);
+  StreamSpec spec;
+  spec.stream_size = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::llround(full_n * scale)));
+  spec.num_distinct = std::max<uint32_t>(
+      1, static_cast<uint32_t>(std::llround(full_m * scale)));
+  spec.skew = skew;
+  spec.seed = seed;
+  return spec;
+}
+
+}  // namespace
+
+StreamSpec IpTraceLikeSpec(double scale, uint64_t seed) {
+  return ScaledSpec(/*full_n=*/461'000'000, /*full_m=*/13'000'000,
+                    /*skew=*/0.9, scale, seed);
+}
+
+StreamSpec KosarakLikeSpec(double scale, uint64_t seed) {
+  // The Kosarak domain is small; keep the full 40 270 items unless the
+  // scale is tiny, so the distribution's head keeps its shape.
+  StreamSpec spec = ScaledSpec(/*full_n=*/8'000'000, /*full_m=*/40'270,
+                               /*skew=*/1.0, /*scale=*/1.0, seed);
+  spec.stream_size = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::llround(8'000'000 * scale)));
+  spec.num_distinct = static_cast<uint32_t>(
+      std::min<uint64_t>(40'270, std::max<uint64_t>(
+                                     1024, spec.stream_size / 100)));
+  return spec;
+}
+
+}  // namespace asketch

@@ -1,0 +1,32 @@
+// Simulated stand-ins for the paper's real-world traces.
+//
+// The originals are not redistributable / available offline:
+//   * an anonymized LAN IP-packet trace — 461M tuples, 13M distinct
+//     address pairs, max frequency 17 978 588, skew similar to Zipf 0.9;
+//   * the Kosarak click stream — 8M clicks, 40 270 distinct items, max
+//     frequency 601 374, skew similar to Zipf 1.0.
+//
+// Every ASketch result on these datasets depends only on the frequency
+// distribution (the quoted Zipf skews) and the stream/domain ratio, both
+// of which the simulators match; `scale` shrinks both N and M
+// proportionally so the benches stay laptop-sized. See DESIGN.md
+// ("Substitutions") for the full argument.
+
+#ifndef ASKETCH_WORKLOAD_TRACE_SIMULATORS_H_
+#define ASKETCH_WORKLOAD_TRACE_SIMULATORS_H_
+
+#include "src/workload/stream_generator.h"
+
+namespace asketch {
+
+/// Spec matching the IP-trace stream's shape. scale = 1 reproduces the
+/// full 461M-tuple trace; the benches default to much smaller scales.
+StreamSpec IpTraceLikeSpec(double scale, uint64_t seed = 17);
+
+/// Spec matching the Kosarak click stream's shape (scale = 1 -> 8M
+/// clicks over 40 270 items).
+StreamSpec KosarakLikeSpec(double scale, uint64_t seed = 19);
+
+}  // namespace asketch
+
+#endif  // ASKETCH_WORKLOAD_TRACE_SIMULATORS_H_

@@ -1,0 +1,135 @@
+// Deletion (negative-count update) semantics — Appendix A of the paper.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/core/asketch.h"
+#include "src/workload/exact_counter.h"
+
+namespace asketch {
+namespace {
+
+ASketchConfig SmallConfig() {
+  ASketchConfig config;
+  config.total_bytes = 8 * 1024;
+  config.width = 4;
+  config.filter_items = 8;
+  config.seed = 3;
+  return config;
+}
+
+TEST(ASketchDeletionTest, FilterAbsorbsWhenSlackSuffices) {
+  auto as = MakeASketchCountMin<RelaxedHeapFilter>(SmallConfig());
+  as.Update(1, 10);  // filter-resident: new=10, old=0, slack=10
+  as.Update(1, -4);
+  EXPECT_EQ(as.Estimate(1), 6u);
+  // Sketch was never touched.
+  EXPECT_EQ(as.sketch().RowSum(0), 0u);
+}
+
+TEST(ASketchDeletionTest, ExactDeletionToZero) {
+  auto as = MakeASketchCountMin<RelaxedHeapFilter>(SmallConfig());
+  as.Update(1, 5);
+  as.Update(1, -5);
+  EXPECT_EQ(as.Estimate(1), 0u);
+}
+
+TEST(ASketchDeletionTest, SplitDeletionSpillsResidualIntoSketch) {
+  // Arrange a filter entry with old_count > 0 by forcing an exchange.
+  auto as = MakeASketchCountMin<RelaxedHeapFilter>(SmallConfig());
+  // Fill the filter with 8 keys of weight 10.
+  for (item_t key = 100; key < 108; ++key) as.Update(key, 10);
+  // Key 1 goes to the sketch and then gets exchanged in (estimate 20>10).
+  as.Update(1, 20);
+  ASSERT_GE(as.filter().Find(1), 0);
+  const int32_t slot = as.filter().Find(1);
+  const count_t old_count = as.filter().OldCount(slot);
+  ASSERT_GT(old_count, 0u);  // entered through an exchange
+  as.Update(1, 5);  // slack = 5 now
+  // Delete 8: slack of 5 absorbed, residual 3 must come out of the sketch.
+  as.Update(1, -8);
+  const int32_t after = as.filter().Find(1);
+  ASSERT_GE(after, 0);
+  EXPECT_EQ(as.filter().NewCount(after), as.filter().OldCount(after));
+  EXPECT_EQ(as.Estimate(1), 25u - 8u);  // 20 est + 5 hits - 8 deleted
+}
+
+TEST(ASketchDeletionTest, UnmonitoredKeyDeletesDirectlyInSketch) {
+  auto as = MakeASketchCountMin<RelaxedHeapFilter>(SmallConfig());
+  for (item_t key = 100; key < 108; ++key) as.Update(key, 100);
+  as.Update(1, 6);   // goes to the sketch (estimate 6 <= min 100)
+  as.Update(1, -2);
+  EXPECT_EQ(as.Estimate(1), 4u);
+}
+
+TEST(ASketchDeletionTest, NoExchangeOnNegativeUpdates) {
+  auto as = MakeASketchCountMin<RelaxedHeapFilter>(SmallConfig());
+  for (item_t key = 100; key < 108; ++key) as.Update(key, 10);
+  as.Update(1, 50);  // exchange happens (positive update)
+  const uint64_t exchanges = as.stats().exchanges;
+  as.Update(2, -1);  // deleting an unmonitored key: no exchange
+  as.Update(1, -1);  // deleting a monitored key: no exchange
+  EXPECT_EQ(as.stats().exchanges, exchanges);
+}
+
+using AllFilters = ::testing::Types<VectorFilter, StrictHeapFilter,
+                                    RelaxedHeapFilter, StreamSummaryFilter>;
+
+template <typename T>
+class ASketchDeletionPropertyTest : public ::testing::Test {};
+TYPED_TEST_SUITE(ASketchDeletionPropertyTest, AllFilters);
+
+TYPED_TEST(ASketchDeletionPropertyTest, OneSidedUnderInsertDeleteChurn) {
+  auto as = MakeASketchCountMin<TypeParam>(SmallConfig());
+  ExactCounter truth(400);
+  Rng rng(17);
+  std::vector<int64_t> live(400, 0);
+  for (int i = 0; i < 40000; ++i) {
+    const item_t key = static_cast<item_t>(rng.NextBounded(400));
+    // Hot head: key 0..3 get extra positive traffic.
+    const bool deletion = live[key] > 0 && rng.NextBounded(3) == 0;
+    if (deletion) {
+      const delta_t amount =
+          -static_cast<delta_t>(1 + rng.NextBounded(
+                                        static_cast<uint64_t>(live[key])));
+      as.Update(key, amount);
+      truth.Update(key, amount);
+      live[key] += amount;
+    } else {
+      const delta_t amount = 1 + static_cast<delta_t>(rng.NextBounded(4));
+      as.Update(key, amount);
+      truth.Update(key, amount);
+      live[key] += amount;
+    }
+  }
+  for (item_t key = 0; key < 400; ++key) {
+    ASSERT_GE(as.Estimate(key), truth.Count(key)) << "key " << key;
+  }
+}
+
+TYPED_TEST(ASketchDeletionPropertyTest, DeleteEverythingLeavesZeros) {
+  auto as = MakeASketchCountMin<TypeParam>(SmallConfig());
+  std::vector<std::pair<item_t, delta_t>> inserted;
+  Rng rng(29);
+  for (int i = 0; i < 500; ++i) {
+    const item_t key = static_cast<item_t>(rng.NextBounded(50));
+    const delta_t amount = 1 + static_cast<delta_t>(rng.NextBounded(5));
+    as.Update(key, amount);
+    inserted.push_back({key, amount});
+  }
+  // Delete in reverse order.
+  for (auto it = inserted.rbegin(); it != inserted.rend(); ++it) {
+    as.Update(it->first, -it->second);
+  }
+  // All true counts are zero; estimates must be over-estimates of zero
+  // but in this small setting the sketch should also have drained back
+  // towards zero for most keys (collisions may leave small residue).
+  for (item_t key = 0; key < 50; ++key) {
+    EXPECT_GE(as.Estimate(key), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace asketch

@@ -1,0 +1,70 @@
+#include "src/common/bit_util.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace asketch {
+namespace {
+
+TEST(BitUtilTest, RoundUp) {
+  EXPECT_EQ(RoundUp(0, 16), 0u);
+  EXPECT_EQ(RoundUp(1, 16), 16u);
+  EXPECT_EQ(RoundUp(16, 16), 16u);
+  EXPECT_EQ(RoundUp(17, 16), 32u);
+  EXPECT_EQ(RoundUp(31, 7), 35u);
+}
+
+TEST(BitUtilTest, RoundDown) {
+  EXPECT_EQ(RoundDown(0, 16), 0u);
+  EXPECT_EQ(RoundDown(15, 16), 0u);
+  EXPECT_EQ(RoundDown(16, 16), 16u);
+  EXPECT_EQ(RoundDown(33, 16), 32u);
+}
+
+TEST(BitUtilTest, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(uint64_t{1} << 40));
+  EXPECT_FALSE(IsPowerOfTwo((uint64_t{1} << 40) + 1));
+}
+
+TEST(BitUtilTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(4), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024u);
+  EXPECT_EQ(NextPowerOfTwo((uint64_t{1} << 32) + 1), uint64_t{1} << 33);
+}
+
+TEST(BitUtilTest, Mix64ProducesDistinctValuesOnSequentialInputs) {
+  std::unordered_set<uint64_t> seen;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    seen.insert(Mix64(i));
+  }
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(BitUtilTest, Mix64IsDeterministic) {
+  EXPECT_EQ(Mix64(12345), Mix64(12345));
+  EXPECT_NE(Mix64(12345), Mix64(12346));
+}
+
+TEST(BitUtilTest, Mix64SpreadsBits) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total_flips = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    total_flips += __builtin_popcountll(Mix64(0x1234567890abcdefULL) ^
+                                        Mix64(0x1234567890abcdefULL ^
+                                              (uint64_t{1} << bit)));
+  }
+  const double mean_flips = total_flips / 64.0;
+  EXPECT_GT(mean_flips, 24.0);
+  EXPECT_LT(mean_flips, 40.0);
+}
+
+}  // namespace
+}  // namespace asketch

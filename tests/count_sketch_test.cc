@@ -1,0 +1,133 @@
+#include "src/sketch/count_sketch.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/workload/exact_counter.h"
+
+namespace asketch {
+namespace {
+
+CountSketchConfig SmallConfig(uint32_t width = 5, uint32_t depth = 256,
+                              uint64_t seed = 42) {
+  CountSketchConfig config;
+  config.width = width;
+  config.depth = depth;
+  config.seed = seed;
+  return config;
+}
+
+TEST(CountSketchConfigTest, ValidatesParameters) {
+  CountSketchConfig config = SmallConfig();
+  EXPECT_FALSE(config.Validate().has_value());
+  config.width = 0;
+  EXPECT_TRUE(config.Validate().has_value());
+}
+
+TEST(CountSketchConfigTest, FromSpaceBudget) {
+  const CountSketchConfig config =
+      CountSketchConfig::FromSpaceBudget(128 * 1024, 8);
+  EXPECT_EQ(config.depth, 4096u);
+  EXPECT_EQ(CountSketch(config).MemoryUsageBytes(), 128u * 1024u);
+}
+
+TEST(CountSketchTest, ExactWhenNoCollisions) {
+  CountSketch sketch(SmallConfig(5, 4096));
+  sketch.Update(1, 10);
+  sketch.Update(2, 20);
+  EXPECT_EQ(sketch.Estimate(1), 10u);
+  EXPECT_EQ(sketch.Estimate(2), 20u);
+  EXPECT_EQ(sketch.Estimate(3), 0u);
+}
+
+TEST(CountSketchTest, DeletionsReverseInsertions) {
+  CountSketch sketch(SmallConfig());
+  sketch.Update(5, 100);
+  sketch.Update(5, -40);
+  EXPECT_EQ(sketch.Estimate(5), 60u);
+}
+
+TEST(CountSketchTest, ErrorIsTwoSidedButSmallOnAverage) {
+  CountSketch sketch(SmallConfig(5, 256, 17));
+  ExactCounter truth(5000);
+  Rng rng(23);
+  const uint64_t n = 100000;
+  for (uint64_t i = 0; i < n; ++i) {
+    const item_t key = static_cast<item_t>(rng.NextBounded(5000));
+    sketch.Update(key);
+    truth.Update(key);
+  }
+  // Count Sketch error bound: |err| <= O(sqrt(F2)/sqrt(h)) w.h.p.; for a
+  // uniform stream F2 = M·(N/M)^2. Allow a generous constant.
+  double f2 = 0;
+  for (item_t key = 0; key < 5000; ++key) {
+    f2 += std::pow(static_cast<double>(truth.Count(key)), 2);
+  }
+  const double bound = 8 * std::sqrt(f2 / 256);
+  int violations = 0;
+  for (item_t key = 0; key < 5000; ++key) {
+    const double err =
+        std::abs(static_cast<double>(sketch.Estimate(key)) -
+                 static_cast<double>(truth.Count(key)));
+    if (err > bound) ++violations;
+  }
+  EXPECT_LT(violations, 50);
+}
+
+TEST(CountSketchTest, HeavyItemDominatesItsNoise) {
+  CountSketch sketch(SmallConfig(5, 512, 3));
+  Rng rng(5);
+  sketch.Update(7, 100000);
+  for (int i = 0; i < 10000; ++i) {
+    sketch.Update(static_cast<item_t>(10 + rng.NextBounded(1000)));
+  }
+  const double est = static_cast<double>(sketch.Estimate(7));
+  EXPECT_NEAR(est, 100000.0, 2000.0);
+}
+
+TEST(CountSketchTest, ResetZeroesEverything) {
+  CountSketch sketch(SmallConfig());
+  sketch.Update(1, 500);
+  sketch.Reset();
+  EXPECT_EQ(sketch.Estimate(1), 0u);
+}
+
+TEST(CountSketchTest, NegativeMedianClampsToZero) {
+  CountSketch sketch(SmallConfig(1, 4, 1));
+  // With one row, another key's negative-signed traffic can drive the
+  // queried key's reading negative; Estimate must clamp at 0.
+  for (item_t key = 0; key < 64; ++key) {
+    sketch.Update(key, 100);
+  }
+  for (item_t key = 0; key < 64; ++key) {
+    // count_t is unsigned; a negative median must come back as 0, never
+    // as a huge wrapped value.
+    EXPECT_LT(sketch.Estimate(key), 100000u);
+  }
+}
+
+TEST(CountSketchTest, UpdateAndEstimateMatchesSeparateCalls) {
+  CountSketch fused(SmallConfig(5, 128, 61));
+  CountSketch plain(SmallConfig(5, 128, 61));
+  Rng rng(53);
+  for (int i = 0; i < 20000; ++i) {
+    const item_t key = static_cast<item_t>(rng.NextBounded(2000));
+    const count_t fused_estimate = fused.UpdateAndEstimate(key, 1);
+    plain.Update(key, 1);
+    ASSERT_EQ(fused_estimate, plain.Estimate(key)) << "step " << i;
+  }
+}
+
+TEST(CountSketchTest, WidthOneAndTwoWork) {
+  for (uint32_t width : {1u, 2u}) {
+    CountSketch sketch(SmallConfig(width, 4096, 9));
+    sketch.Update(1, 42);
+    EXPECT_EQ(sketch.Estimate(1), 42u) << "width " << width;
+  }
+}
+
+}  // namespace
+}  // namespace asketch

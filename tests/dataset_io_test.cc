@@ -1,0 +1,84 @@
+#include "src/workload/dataset_io.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/workload/stream_generator.h"
+
+namespace asketch {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(DatasetIoTest, RoundTripsAStream) {
+  StreamSpec spec;
+  spec.stream_size = 5000;
+  spec.num_distinct = 100;
+  spec.skew = 1.0;
+  const std::vector<Tuple> original = GenerateStream(spec);
+  const std::string path = TempPath("roundtrip.ask");
+  ASSERT_FALSE(WriteStreamFile(path, original).has_value());
+  std::vector<Tuple> loaded;
+  ASSERT_FALSE(ReadStreamFile(path, &loaded).has_value());
+  ASSERT_EQ(loaded.size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    ASSERT_EQ(loaded[i], original[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, RoundTripsEmptyStream) {
+  const std::string path = TempPath("empty.ask");
+  ASSERT_FALSE(WriteStreamFile(path, {}).has_value());
+  std::vector<Tuple> loaded = {{1, 1}};
+  ASSERT_FALSE(ReadStreamFile(path, &loaded).has_value());
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, MissingFileReportsError) {
+  std::vector<Tuple> loaded;
+  const auto error = ReadStreamFile(TempPath("nonexistent.ask"), &loaded);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("cannot open"), std::string::npos);
+}
+
+TEST(DatasetIoTest, BadMagicReportsError) {
+  const std::string path = TempPath("garbage.ask");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[32] = "this is not a stream file";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  std::vector<Tuple> loaded;
+  const auto error = ReadStreamFile(path, &loaded);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("bad magic"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, TruncatedFileReportsError) {
+  StreamSpec spec;
+  spec.stream_size = 100;
+  spec.num_distinct = 10;
+  const std::vector<Tuple> original = GenerateStream(spec);
+  const std::string path = TempPath("truncated.ask");
+  ASSERT_FALSE(WriteStreamFile(path, original).has_value());
+  // Truncate the file to cut off half the tuples.
+  ASSERT_EQ(truncate(path.c_str(), 16 + 100 * 4), 0);
+  std::vector<Tuple> loaded;
+  const auto error = ReadStreamFile(path, &loaded);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace asketch

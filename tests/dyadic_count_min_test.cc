@@ -1,0 +1,174 @@
+#include "src/sketch/dyadic_count_min.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/workload/exact_counter.h"
+#include "src/workload/stream_generator.h"
+
+namespace asketch {
+namespace {
+
+DyadicCountMinConfig SmallConfig(uint32_t bits = 16) {
+  DyadicCountMinConfig config;
+  config.domain_bits = bits;
+  config.width = 4;
+  config.total_bytes = 256 * 1024;
+  config.seed = 5;
+  return config;
+}
+
+TEST(DyadicCountMinConfigTest, Validates) {
+  DyadicCountMinConfig config = SmallConfig();
+  EXPECT_FALSE(config.Validate().has_value());
+  config.domain_bits = 0;
+  EXPECT_TRUE(config.Validate().has_value());
+  config = SmallConfig();
+  config.domain_bits = 33;
+  EXPECT_TRUE(config.Validate().has_value());
+  config = SmallConfig();
+  config.total_bytes = 100;
+  EXPECT_TRUE(config.Validate().has_value());
+}
+
+TEST(DyadicCountMinTest, PointQueriesWork) {
+  DyadicCountMin sketch(SmallConfig());
+  sketch.Update(100, 7);
+  sketch.Update(200, 3);
+  EXPECT_EQ(sketch.Estimate(100), 7u);
+  EXPECT_EQ(sketch.Estimate(200), 3u);
+  EXPECT_EQ(sketch.Total(), 10u);
+}
+
+TEST(DyadicCountMinTest, RangeSumsExactOnSmallDomains) {
+  // With a 16-bit domain and 256KB, every level is exact: range sums
+  // must be exactly right.
+  DyadicCountMin sketch(SmallConfig(10));
+  ExactCounter truth(1024);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const item_t key = static_cast<item_t>(rng.NextBounded(1024));
+    sketch.Update(key);
+    truth.Update(key);
+  }
+  Rng range_rng(4);
+  for (int round = 0; round < 200; ++round) {
+    item_t lo = static_cast<item_t>(range_rng.NextBounded(1024));
+    item_t hi = static_cast<item_t>(range_rng.NextBounded(1024));
+    if (lo > hi) std::swap(lo, hi);
+    wide_count_t exact = 0;
+    for (item_t k = lo; k <= hi; ++k) exact += truth.Count(k);
+    ASSERT_EQ(sketch.RangeSum(lo, hi), exact)
+        << "range [" << lo << ", " << hi << "]";
+  }
+}
+
+TEST(DyadicCountMinTest, FullRangeEqualsTotal) {
+  DyadicCountMin sketch(SmallConfig(12));
+  Rng rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    sketch.Update(static_cast<item_t>(rng.NextBounded(1 << 12)));
+  }
+  EXPECT_EQ(sketch.RangeSum(0, (1 << 12) - 1), sketch.Total());
+}
+
+TEST(DyadicCountMinTest, SingleElementRangeEqualsPointQuery) {
+  DyadicCountMin sketch(SmallConfig(12));
+  sketch.Update(77, 5);
+  EXPECT_EQ(sketch.RangeSum(77, 77), sketch.Estimate(77));
+  EXPECT_EQ(sketch.RangeSum(0, 0), sketch.Estimate(0));
+  EXPECT_EQ(sketch.RangeSum((1 << 12) - 1, (1 << 12) - 1),
+            sketch.Estimate((1 << 12) - 1));
+}
+
+TEST(DyadicCountMinTest, RangeSumsNeverUnderestimate) {
+  // 24-bit domain: deep levels are hashed, so sums are approximate but
+  // must stay one-sided.
+  DyadicCountMinConfig config = SmallConfig(24);
+  config.total_bytes = 64 * 1024;
+  DyadicCountMin sketch(config);
+  ExactCounter truth(1 << 16);
+  StreamSpec spec;
+  spec.stream_size = 50000;
+  spec.num_distinct = 1 << 16;
+  spec.skew = 1.0;
+  spec.seed = 6;
+  for (const Tuple& t : GenerateStream(spec)) {
+    sketch.Update(t.key, t.value);
+    truth.Update(t.key, t.value);
+  }
+  Rng range_rng(7);
+  for (int round = 0; round < 100; ++round) {
+    item_t lo = static_cast<item_t>(range_rng.NextBounded(1 << 16));
+    item_t hi = static_cast<item_t>(
+        lo + range_rng.NextBounded((1 << 16) - lo));
+    wide_count_t exact = 0;
+    for (item_t k = lo; k <= hi; ++k) exact += truth.Count(k);
+    ASSERT_GE(sketch.RangeSum(lo, hi), exact)
+        << "range [" << lo << ", " << hi << "]";
+  }
+}
+
+TEST(DyadicCountMinTest, HeavyHittersFindsAllHeavyKeys) {
+  DyadicCountMin sketch(SmallConfig(20));
+  ExactCounter truth(1 << 20);
+  StreamSpec spec;
+  spec.stream_size = 100000;
+  spec.num_distinct = 1 << 20;
+  spec.skew = 1.5;
+  spec.seed = 11;
+  for (const Tuple& t : GenerateStream(spec)) {
+    sketch.Update(t.key, t.value);
+    truth.Update(t.key, t.value);
+  }
+  const count_t threshold =
+      static_cast<count_t>(sketch.Total() / 100);  // 1% heavy hitters
+  const auto hitters = sketch.HeavyHitters(threshold);
+  // Completeness: every truly-heavy key is reported (one-sidedness).
+  for (item_t key = 0; key < (1 << 20); ++key) {
+    if (truth.Count(key) >= threshold) {
+      const bool found =
+          std::any_of(hitters.begin(), hitters.end(),
+                      [key](const RangeHeavyHitter& h) {
+                        return h.key == key;
+                      });
+      EXPECT_TRUE(found) << "heavy key " << key;
+    }
+  }
+  // Soundness (approximate): reported estimates clear the threshold.
+  for (const RangeHeavyHitter& h : hitters) {
+    EXPECT_GE(h.estimate, threshold);
+    EXPECT_GE(h.estimate, truth.Count(h.key));
+  }
+}
+
+TEST(DyadicCountMinTest, DeletionsAdjustRanges) {
+  DyadicCountMin sketch(SmallConfig(10));
+  sketch.Update(5, 10);
+  sketch.Update(6, 10);
+  sketch.Update(5, -4);
+  EXPECT_EQ(sketch.RangeSum(5, 6), 16u);
+  EXPECT_EQ(sketch.Total(), 16u);
+}
+
+TEST(DyadicCountMinTest, ResetClearsAllLevels) {
+  DyadicCountMin sketch(SmallConfig(12));
+  sketch.Update(1, 100);
+  sketch.Reset();
+  EXPECT_EQ(sketch.Total(), 0u);
+  EXPECT_EQ(sketch.RangeSum(0, (1 << 12) - 1), 0u);
+}
+
+TEST(DyadicCountMinTest, MemoryStaysNearBudget) {
+  DyadicCountMinConfig config = SmallConfig(32);
+  config.total_bytes = 512 * 1024;
+  DyadicCountMin sketch(config);
+  EXPECT_LE(sketch.MemoryUsageBytes(), config.total_bytes * 2);
+  EXPECT_GE(sketch.MemoryUsageBytes(), config.total_bytes / 2);
+}
+
+}  // namespace
+}  // namespace asketch

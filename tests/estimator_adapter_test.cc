@@ -1,0 +1,63 @@
+#include "src/sketch/frequency_estimator.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/asketch.h"
+#include "src/sketch/count_min.h"
+#include "src/sketch/count_sketch.h"
+#include "src/sketch/fcm.h"
+#include "src/sketch/holistic_udaf.h"
+
+namespace asketch {
+namespace {
+
+TEST(EstimatorConceptTest, AllEstimatorsSatisfyTheConcept) {
+  static_assert(FrequencyEstimatorType<CountMin>);
+  static_assert(FrequencyEstimatorType<CountSketch>);
+  static_assert(FrequencyEstimatorType<Fcm>);
+  static_assert(FrequencyEstimatorType<HolisticUdaf>);
+  static_assert(
+      FrequencyEstimatorType<ASketch<RelaxedHeapFilter, CountMin>>);
+  static_assert(FrequencyEstimatorType<ASketch<VectorFilter, Fcm>>);
+}
+
+TEST(EstimatorAdapterTest, ForwardsAllOperations) {
+  auto adapter = MakeEstimator(
+      CountMin(CountMinConfig::FromSpaceBudget(16 * 1024, 4)), "cm16k");
+  adapter->Update(7, 3);
+  adapter->Update(7, 2);
+  EXPECT_EQ(adapter->Estimate(7), 5u);
+  EXPECT_EQ(adapter->MemoryUsageBytes(), 16u * 1024u);
+  EXPECT_EQ(adapter->Name(), "cm16k");
+  adapter->Reset();
+  EXPECT_EQ(adapter->Estimate(7), 0u);
+}
+
+TEST(EstimatorAdapterTest, HeterogeneousCollection) {
+  ASketchConfig config;
+  config.total_bytes = 16 * 1024;
+  config.width = 4;
+  config.filter_items = 8;
+  std::vector<std::unique_ptr<FrequencyEstimator>> estimators;
+  estimators.push_back(MakeEstimator(
+      CountMin(CountMinConfig::FromSpaceBudget(16 * 1024, 4)), "CountMin"));
+  estimators.push_back(MakeEstimator(
+      MakeASketchCountMin<RelaxedHeapFilter>(config), "ASketch"));
+  for (const auto& estimator : estimators) {
+    for (int i = 0; i < 100; ++i) estimator->Update(42, 1);
+    EXPECT_GE(estimator->Estimate(42), 100u) << estimator->Name();
+  }
+}
+
+TEST(EstimatorAdapterTest, ImplAccessorExposesConcreteType) {
+  EstimatorAdapter<CountMin> adapter(
+      CountMin(CountMinConfig::FromSpaceBudget(8 * 1024, 4)), "cm");
+  adapter.Update(1, 1);
+  EXPECT_EQ(adapter.impl().width(), 4u);
+}
+
+}  // namespace
+}  // namespace asketch

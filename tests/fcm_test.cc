@@ -1,0 +1,178 @@
+#include "src/sketch/fcm.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/workload/exact_counter.h"
+#include "src/workload/stream_generator.h"
+
+namespace asketch {
+namespace {
+
+FcmConfig SmallConfig(uint32_t width = 8, uint32_t depth = 512,
+                      uint64_t seed = 42) {
+  FcmConfig config;
+  config.width = width;
+  config.depth = depth;
+  config.mg_capacity = 16;
+  config.seed = seed;
+  return config;
+}
+
+TEST(FcmConfigTest, Validates) {
+  FcmConfig config = SmallConfig();
+  EXPECT_FALSE(config.Validate().has_value());
+  config.width = 1;
+  EXPECT_TRUE(config.Validate().has_value());
+  config = SmallConfig();
+  config.mg_capacity = 0;
+  EXPECT_TRUE(config.Validate().has_value());
+  config.use_mg_classifier = false;
+  EXPECT_FALSE(config.Validate().has_value());
+}
+
+TEST(FcmConfigTest, FromSpaceBudgetAccountsForMgCounter) {
+  const FcmConfig config = FcmConfig::FromSpaceBudget(128 * 1024, 8, 32);
+  const Fcm sketch(config);
+  EXPECT_LE(sketch.MemoryUsageBytes(), 128u * 1024u);
+  EXPECT_GT(sketch.MemoryUsageBytes(), 127u * 1024u);
+}
+
+TEST(FcmTest, RowCountsMatchPaperFractions) {
+  const Fcm sketch(SmallConfig(8, 512));
+  EXPECT_EQ(sketch.hot_rows(), 4u);   // w/2
+  EXPECT_EQ(sketch.cold_rows(), 7u);  // ceil(4w/5) = ceil(6.4)
+}
+
+TEST(FcmTest, ExactWhenNoCollisions) {
+  Fcm sketch(SmallConfig(8, 4096));
+  sketch.Update(1, 10);
+  sketch.Update(2, 20);
+  EXPECT_EQ(sketch.Estimate(1), 10u);
+  EXPECT_EQ(sketch.Estimate(2), 20u);
+  EXPECT_EQ(sketch.Estimate(999), 0u);
+}
+
+TEST(FcmTest, NeverHotKeysNeverUnderestimated) {
+  // Keys that never enter the MG classifier always update the full cold
+  // prefix, so their estimate is one-sided. (Keys that were hot at some
+  // point and later demoted can legitimately be under-estimated — an
+  // inherent FCM property; they are excluded here by tracking ever-hot
+  // membership after every update.)
+  Fcm sketch(SmallConfig(8, 128, 7));
+  ExactCounter truth(2000);
+  std::vector<bool> ever_hot(2000, false);
+  StreamSpec spec;
+  spec.stream_size = 100000;
+  spec.num_distinct = 2000;
+  spec.skew = 1.3;
+  spec.seed = 5;
+  for (const Tuple& t : GenerateStream(spec)) {
+    sketch.Update(t.key, t.value);
+    truth.Update(t.key, t.value);
+    if (sketch.IsHot(t.key)) ever_hot[t.key] = true;
+  }
+  for (item_t key = 0; key < 2000; ++key) {
+    if (ever_hot[key]) continue;
+    EXPECT_GE(sketch.Estimate(key), truth.Count(key)) << "key " << key;
+  }
+}
+
+TEST(FcmTest, HotKeysUseFewerRowsAndStayOneSided) {
+  Fcm sketch(SmallConfig(8, 256, 9));
+  // One overwhelmingly hot key is monitored by MG immediately and stays.
+  ExactCounter truth(1000);
+  Rng rng(31);
+  for (int i = 0; i < 50000; ++i) {
+    const item_t key = rng.NextBounded(4) == 0
+                           ? 0
+                           : static_cast<item_t>(rng.NextBounded(1000));
+    sketch.Update(key);
+    truth.Update(key);
+  }
+  EXPECT_TRUE(sketch.IsHot(0));
+  EXPECT_GE(sketch.Estimate(0), truth.Count(0));
+}
+
+TEST(FcmTest, MoreAccurateThanItsOwnColdEstimates) {
+  // FCM's design goal: hot keys hashed into fewer rows pollute fewer
+  // cells. Sanity-check the total over-estimation is bounded sensibly.
+  Fcm sketch(SmallConfig(8, 256, 15));
+  ExactCounter truth(5000);
+  StreamSpec spec;
+  spec.stream_size = 100000;
+  spec.num_distinct = 5000;
+  spec.skew = 1.5;
+  spec.seed = 8;
+  for (const Tuple& t : GenerateStream(spec)) {
+    sketch.Update(t.key, t.value);
+    truth.Update(t.key, t.value);
+  }
+  double total_overestimate = 0;
+  for (item_t key = 0; key < 5000; ++key) {
+    const double err = static_cast<double>(sketch.Estimate(key)) -
+                       static_cast<double>(truth.Count(key));
+    if (err > 0) total_overestimate += err;
+  }
+  // Each of the 100k counts lands in <= 7 of 8*256 cells; average noise
+  // per cell is bounded; the aggregate should be far below N * M.
+  EXPECT_LT(total_overestimate, 5000.0 * 100000 / 256);
+}
+
+TEST(FcmTest, DisabledClassifierTreatsAllKeysCold) {
+  FcmConfig config = SmallConfig();
+  config.use_mg_classifier = false;
+  Fcm sketch(config);
+  for (int i = 0; i < 1000; ++i) sketch.Update(7);
+  EXPECT_FALSE(sketch.IsHot(7));
+  EXPECT_GE(sketch.Estimate(7), 1000u);
+}
+
+TEST(FcmTest, DeletionsBypassClassifier) {
+  Fcm sketch(SmallConfig(8, 4096));
+  sketch.Update(1, 100);
+  sketch.Update(1, -30);
+  EXPECT_EQ(sketch.Estimate(1), 70u);
+}
+
+TEST(FcmTest, ResetClearsCellsAndClassifier) {
+  Fcm sketch(SmallConfig());
+  for (int i = 0; i < 100; ++i) sketch.Update(5);
+  EXPECT_TRUE(sketch.IsHot(5));
+  sketch.Reset();
+  EXPECT_FALSE(sketch.IsHot(5));
+  EXPECT_EQ(sketch.Estimate(5), 0u);
+}
+
+TEST(FcmTest, UpdateAndEstimateMatchesSeparateCalls) {
+  Fcm fused(SmallConfig(8, 128, 51));
+  Fcm plain(SmallConfig(8, 128, 51));
+  Rng rng(47);
+  for (int i = 0; i < 20000; ++i) {
+    // Hot head so the classifier actually promotes keys mid-stream.
+    const item_t key = rng.NextBounded(3) == 0
+                           ? static_cast<item_t>(rng.NextBounded(4))
+                           : static_cast<item_t>(rng.NextBounded(1000));
+    const count_t fused_estimate = fused.UpdateAndEstimate(key, 1);
+    plain.Update(key, 1);
+    ASSERT_EQ(fused_estimate, plain.Estimate(key)) << "step " << i;
+  }
+  for (item_t key = 0; key < 1000; ++key) {
+    ASSERT_EQ(fused.Estimate(key), plain.Estimate(key));
+    ASSERT_EQ(fused.IsHot(key), plain.IsHot(key));
+  }
+}
+
+TEST(FcmTest, WidthFiveCoprimeGapsExist) {
+  // width=5: all gaps 1..4 are coprime; exercise a non-power-of-two width.
+  Fcm sketch(SmallConfig(5, 1024, 3));
+  sketch.Update(123, 7);
+  EXPECT_EQ(sketch.Estimate(123), 7u);
+  EXPECT_EQ(sketch.hot_rows(), 3u);   // ceil(5/2)
+  EXPECT_EQ(sketch.cold_rows(), 4u);  // floor... ceil(4*5/5)=4
+}
+
+}  // namespace
+}  // namespace asketch

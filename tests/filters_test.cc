@@ -1,0 +1,270 @@
+// Behavioural tests shared by all four filter designs, plus a randomized
+// reference-model fuzz. Everything runs as typed tests so each design is
+// exercised identically.
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/filter/filter_interface.h"
+#include "src/filter/heap_filter.h"
+#include "src/filter/stream_summary_filter.h"
+#include "src/filter/vector_filter.h"
+
+namespace asketch {
+namespace {
+
+template <typename T>
+class FilterTest : public ::testing::Test {};
+
+using FilterTypes = ::testing::Types<VectorFilter, StrictHeapFilter,
+                                     RelaxedHeapFilter, StreamSummaryFilter>;
+TYPED_TEST_SUITE(FilterTest, FilterTypes);
+
+TYPED_TEST(FilterTest, StartsEmpty) {
+  TypeParam filter(8);
+  EXPECT_EQ(filter.size(), 0u);
+  EXPECT_EQ(filter.capacity(), 8u);
+  EXPECT_FALSE(filter.Full());
+  EXPECT_EQ(filter.Find(42), -1);
+}
+
+TYPED_TEST(FilterTest, InsertAndFind) {
+  TypeParam filter(8);
+  filter.Insert(10, 5, 2);
+  const int32_t slot = filter.Find(10);
+  ASSERT_GE(slot, 0);
+  EXPECT_EQ(filter.NewCount(slot), 5u);
+  EXPECT_EQ(filter.OldCount(slot), 2u);
+  EXPECT_EQ(filter.size(), 1u);
+}
+
+TYPED_TEST(FilterTest, AddToNewCountAccumulates) {
+  TypeParam filter(8);
+  filter.Insert(10, 5, 5);
+  filter.AddToNewCount(filter.Find(10), 7);
+  const int32_t slot = filter.Find(10);
+  EXPECT_EQ(filter.NewCount(slot), 12u);
+  EXPECT_EQ(filter.OldCount(slot), 5u);  // old_count untouched
+}
+
+TYPED_TEST(FilterTest, NegativeDeltaDecreases) {
+  TypeParam filter(8);
+  filter.Insert(10, 9, 0);
+  filter.AddToNewCount(filter.Find(10), -4);
+  EXPECT_EQ(filter.NewCount(filter.Find(10)), 5u);
+}
+
+TYPED_TEST(FilterTest, SetCountsOverwrites) {
+  TypeParam filter(8);
+  filter.Insert(10, 9, 3);
+  filter.SetCounts(filter.Find(10), 100, 100);
+  const int32_t slot = filter.Find(10);
+  EXPECT_EQ(filter.NewCount(slot), 100u);
+  EXPECT_EQ(filter.OldCount(slot), 100u);
+}
+
+TYPED_TEST(FilterTest, FullAfterCapacityInserts) {
+  TypeParam filter(4);
+  for (item_t key = 0; key < 4; ++key) {
+    filter.Insert(key, key + 1, 0);
+  }
+  EXPECT_TRUE(filter.Full());
+  EXPECT_EQ(filter.size(), 4u);
+}
+
+TYPED_TEST(FilterTest, MinNewCountTracksSmallest) {
+  TypeParam filter(4);
+  filter.Insert(1, 50, 0);
+  filter.Insert(2, 10, 0);
+  filter.Insert(3, 30, 0);
+  EXPECT_EQ(filter.MinNewCount(), 10u);
+  filter.AddToNewCount(filter.Find(2), 100);  // 2 -> 110
+  EXPECT_EQ(filter.MinNewCount(), 30u);
+}
+
+TYPED_TEST(FilterTest, EvictMinReturnsSmallestEntry) {
+  TypeParam filter(4);
+  filter.Insert(1, 50, 7);
+  filter.Insert(2, 10, 3);
+  filter.Insert(3, 30, 1);
+  const FilterEntry evicted = filter.EvictMin();
+  EXPECT_EQ(evicted.key, 2u);
+  EXPECT_EQ(evicted.new_count, 10u);
+  EXPECT_EQ(evicted.old_count, 3u);
+  EXPECT_EQ(filter.size(), 2u);
+  EXPECT_EQ(filter.Find(2), -1);
+  EXPECT_EQ(filter.MinNewCount(), 30u);
+}
+
+TYPED_TEST(FilterTest, EvictionsComeOutInAscendingOrder) {
+  TypeParam filter(8);
+  const std::vector<count_t> counts = {42, 7, 99, 13, 56, 21, 3, 70};
+  for (size_t i = 0; i < counts.size(); ++i) {
+    filter.Insert(static_cast<item_t>(i), counts[i], 0);
+  }
+  std::vector<count_t> drained;
+  while (filter.size() > 0) {
+    drained.push_back(filter.EvictMin().new_count);
+  }
+  EXPECT_TRUE(std::is_sorted(drained.begin(), drained.end()));
+  EXPECT_EQ(drained.size(), counts.size());
+}
+
+TYPED_TEST(FilterTest, RemoveErasesEntry) {
+  TypeParam filter(4);
+  filter.Insert(1, 5, 0);
+  filter.Insert(2, 6, 0);
+  filter.Remove(filter.Find(1));
+  EXPECT_EQ(filter.Find(1), -1);
+  EXPECT_EQ(filter.size(), 1u);
+  EXPECT_EQ(filter.MinNewCount(), 6u);
+}
+
+TYPED_TEST(FilterTest, ResetEmpties) {
+  TypeParam filter(4);
+  filter.Insert(1, 5, 0);
+  filter.Reset();
+  EXPECT_EQ(filter.size(), 0u);
+  EXPECT_EQ(filter.Find(1), -1);
+  filter.Insert(1, 2, 0);
+  EXPECT_EQ(filter.NewCount(filter.Find(1)), 2u);
+}
+
+TYPED_TEST(FilterTest, CapacityOneWorks) {
+  TypeParam filter(1);
+  filter.Insert(9, 4, 0);
+  EXPECT_TRUE(filter.Full());
+  EXPECT_EQ(filter.MinNewCount(), 4u);
+  const FilterEntry e = filter.EvictMin();
+  EXPECT_EQ(e.key, 9u);
+  EXPECT_EQ(filter.size(), 0u);
+}
+
+TYPED_TEST(FilterTest, ForEachVisitsAllEntries) {
+  TypeParam filter(8);
+  for (item_t key = 0; key < 5; ++key) {
+    filter.Insert(key, (key + 1) * 10, key);
+  }
+  std::map<item_t, FilterEntry> seen;
+  filter.ForEach([&seen](const FilterEntry& e) { seen[e.key] = e; });
+  ASSERT_EQ(seen.size(), 5u);
+  for (item_t key = 0; key < 5; ++key) {
+    EXPECT_EQ(seen[key].new_count, (key + 1) * 10);
+    EXPECT_EQ(seen[key].old_count, key);
+  }
+}
+
+TYPED_TEST(FilterTest, ZeroAndMaxKeysAreOrdinary) {
+  TypeParam filter(4);
+  filter.Insert(0, 1, 0);
+  filter.Insert(std::numeric_limits<item_t>::max(), 2, 0);
+  EXPECT_GE(filter.Find(0), 0);
+  EXPECT_GE(filter.Find(std::numeric_limits<item_t>::max()), 0);
+  EXPECT_EQ(filter.Find(1), -1);
+}
+
+// Randomized reference-model fuzz mirroring the exact operation mix the
+// ASketch core performs, checking Find/counts/min against a std::map.
+TYPED_TEST(FilterTest, MatchesReferenceModelUnderRandomOps) {
+  constexpr uint32_t kCapacity = 16;
+  TypeParam filter(kCapacity);
+  std::map<item_t, std::pair<count_t, count_t>> model;
+  Rng rng(20240607);
+  for (int step = 0; step < 5000; ++step) {
+    const item_t key = static_cast<item_t>(rng.NextBounded(64));
+    const int32_t slot = filter.Find(key);
+    const auto it = model.find(key);
+    ASSERT_EQ(slot >= 0, it != model.end()) << "step " << step;
+    if (slot >= 0) {
+      ASSERT_EQ(filter.NewCount(slot), it->second.first);
+      ASSERT_EQ(filter.OldCount(slot), it->second.second);
+      const count_t delta = 1 + static_cast<count_t>(rng.NextBounded(9));
+      filter.AddToNewCount(slot, delta);
+      it->second.first += delta;
+    } else if (!filter.Full()) {
+      const count_t c = 1 + static_cast<count_t>(rng.NextBounded(100));
+      filter.Insert(key, c, 0);
+      model[key] = {c, 0};
+    } else {
+      // Simulate the exchange decision on a miss.
+      count_t model_min = ~count_t{0};
+      for (const auto& [k, v] : model) {
+        model_min = std::min(model_min, v.first);
+      }
+      ASSERT_EQ(filter.MinNewCount(), model_min) << "step " << step;
+      if (rng.NextBounded(2) == 0) {
+        const FilterEntry victim = filter.EvictMin();
+        ASSERT_EQ(victim.new_count, model_min);
+        ASSERT_EQ(model.count(victim.key), 1u);
+        model.erase(victim.key);
+        const count_t est = victim.new_count +
+                            static_cast<count_t>(rng.NextBounded(10)) + 1;
+        filter.Insert(key, est, est);
+        model[key] = {est, est};
+      }
+    }
+    ASSERT_EQ(filter.size(), model.size());
+  }
+}
+
+// Heap-specific invariant checks.
+TEST(HeapFilterTest, StrictKeepsFullHeapProperty) {
+  StrictHeapFilter filter(16);
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const item_t key = static_cast<item_t>(rng.NextBounded(32));
+    const int32_t slot = filter.Find(key);
+    if (slot >= 0) {
+      filter.AddToNewCount(slot, 1 + rng.NextBounded(5));
+    } else if (!filter.Full()) {
+      filter.Insert(key, 1 + rng.NextBounded(50), 0);
+    } else if (rng.NextBounded(2) == 0) {
+      filter.EvictMin();
+    }
+    ASSERT_TRUE(filter.CheckInvariants()) << "step " << i;
+  }
+}
+
+TEST(HeapFilterTest, RelaxedKeepsRootMinimalDespiteStaleInterior) {
+  RelaxedHeapFilter filter(16);
+  Rng rng(6);
+  for (int i = 0; i < 5000; ++i) {
+    const item_t key = static_cast<item_t>(rng.NextBounded(32));
+    const int32_t slot = filter.Find(key);
+    if (slot >= 0) {
+      filter.AddToNewCount(slot, 1 + rng.NextBounded(5));
+    } else if (!filter.Full()) {
+      filter.Insert(key, 1 + rng.NextBounded(50), 0);
+    } else if (rng.NextBounded(2) == 0) {
+      filter.EvictMin();
+    }
+    ASSERT_TRUE(filter.CheckInvariants()) << "step " << i;
+  }
+}
+
+TEST(FilterMemoryTest, FlatFiltersCost12BytesPerItem) {
+  EXPECT_EQ(VectorFilter::BytesPerItem(), 12u);
+  EXPECT_EQ(StrictHeapFilter::BytesPerItem(), 12u);
+  EXPECT_EQ(RelaxedHeapFilter::BytesPerItem(), 12u);
+  // 32 items ≈ 0.4 KB — the paper's filter sizing.
+  EXPECT_EQ(VectorFilter(32).MemoryUsageBytes(), 384u);
+}
+
+TEST(FilterMemoryTest, StreamSummaryFilterIsMuchHeavier) {
+  EXPECT_GT(StreamSummaryFilter::BytesPerItem(),
+            3 * VectorFilter::BytesPerItem());
+  // With the same 0.4 KB budget it monitors only a handful of items —
+  // Table 6's "only 4 items with a 0.4KB filter size".
+  const size_t budget = 384;
+  const size_t items = budget / StreamSummaryFilter::BytesPerItem();
+  EXPECT_LE(items, 8u);
+  EXPECT_GE(items, 2u);
+}
+
+}  // namespace
+}  // namespace asketch

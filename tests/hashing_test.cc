@@ -1,0 +1,121 @@
+#include "src/common/hashing.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace asketch {
+namespace {
+
+TEST(ModMersenne61Test, MatchesDirectModulo) {
+  for (uint64_t x : std::vector<uint64_t>{0, 1, kMersenne61 - 1,
+                                          kMersenne61, kMersenne61 + 1,
+                                          ~uint64_t{0}}) {
+    EXPECT_EQ(ModMersenne61(x), x % kMersenne61) << x;
+  }
+  // A large 128-bit product.
+  const unsigned __int128 big =
+      static_cast<unsigned __int128>(~0ull) * 0x123456789abcdefULL;
+  EXPECT_EQ(ModMersenne61(big),
+            static_cast<uint64_t>(big % kMersenne61));
+}
+
+TEST(PairwiseHashTest, StaysInRange) {
+  const PairwiseHash h(12345, 6789, 100);
+  for (uint64_t key = 0; key < 10000; ++key) {
+    EXPECT_LT(h(key), 100u);
+  }
+}
+
+TEST(PairwiseHashTest, IsDeterministic) {
+  const PairwiseHash h(999983, 31337, 4096);
+  EXPECT_EQ(h(42), h(42));
+}
+
+TEST(PairwiseHashTest, IdentityCoefficientsComputeAffine) {
+  // a=1, b=0 -> h(x) = x mod range (for x < p).
+  const PairwiseHash h(1, 0, 97);
+  for (uint64_t key = 0; key < 1000; ++key) {
+    EXPECT_EQ(h(key), key % 97);
+  }
+}
+
+TEST(PairwiseHashTest, RangeOneMapsEverythingToZero) {
+  const PairwiseHash h(7, 3, 1);
+  for (uint64_t key = 0; key < 100; ++key) {
+    EXPECT_EQ(h(key), 0u);
+  }
+}
+
+TEST(PairwiseHashTest, DistributionIsRoughlyUniform) {
+  const PairwiseHash h(0x9e3779b97f4a7c15ULL % kMersenne61, 12345, 64);
+  std::vector<int> histogram(64, 0);
+  constexpr int kKeys = 64000;
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    ++histogram[h(key)];
+  }
+  for (const int count : histogram) {
+    EXPECT_GT(count, 700);   // expected 1000
+    EXPECT_LT(count, 1300);
+  }
+}
+
+TEST(HashFamilyTest, RowsHashIndependently) {
+  const HashFamily family(4, 1024, /*seed=*/7);
+  // Two keys colliding in one row should almost never collide in all rows.
+  int all_row_collisions = 0;
+  for (uint64_t key = 0; key < 2000; key += 2) {
+    bool all = true;
+    for (uint32_t row = 0; row < 4; ++row) {
+      if (family.Bucket(row, key) != family.Bucket(row, key + 1)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) ++all_row_collisions;
+  }
+  EXPECT_EQ(all_row_collisions, 0);
+}
+
+TEST(HashFamilyTest, SameSeedSameFunctions) {
+  const HashFamily a(8, 4096, 42), b(8, 4096, 42);
+  for (uint32_t row = 0; row < 8; ++row) {
+    for (uint64_t key = 0; key < 100; ++key) {
+      EXPECT_EQ(a.Bucket(row, key), b.Bucket(row, key));
+    }
+  }
+}
+
+TEST(HashFamilyTest, DifferentSeedsDifferentFunctions) {
+  const HashFamily a(1, 1 << 20, 1), b(1, 1 << 20, 2);
+  int equal = 0;
+  for (uint64_t key = 0; key < 1000; ++key) {
+    if (a.Bucket(0, key) == b.Bucket(0, key)) ++equal;
+  }
+  EXPECT_LT(equal, 10);
+}
+
+TEST(SignFamilyTest, SignsAreBalanced) {
+  const SignFamily signs(4, /*seed=*/11);
+  for (uint32_t row = 0; row < 4; ++row) {
+    int sum = 0;
+    for (uint64_t key = 0; key < 10000; ++key) {
+      const int32_t s = signs.Sign(row, key);
+      ASSERT_TRUE(s == 1 || s == -1);
+      sum += s;
+    }
+    EXPECT_LT(std::abs(sum), 400);  // ~4 sigma for 10k fair coins
+  }
+}
+
+TEST(SignFamilyTest, IsDeterministic) {
+  const SignFamily a(2, 5), b(2, 5);
+  for (uint64_t key = 0; key < 1000; ++key) {
+    EXPECT_EQ(a.Sign(0, key), b.Sign(0, key));
+    EXPECT_EQ(a.Sign(1, key), b.Sign(1, key));
+  }
+}
+
+}  // namespace
+}  // namespace asketch

@@ -1,0 +1,153 @@
+#include "src/sketch/holistic_udaf.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/workload/exact_counter.h"
+#include "src/workload/stream_generator.h"
+
+namespace asketch {
+namespace {
+
+HolisticUdafConfig SmallConfig(uint32_t table = 4, uint32_t depth = 1024,
+                               uint64_t seed = 42) {
+  HolisticUdafConfig config;
+  config.table_capacity = table;
+  config.sketch.width = 4;
+  config.sketch.depth = depth;
+  config.sketch.seed = seed;
+  return config;
+}
+
+TEST(HolisticUdafConfigTest, Validates) {
+  HolisticUdafConfig config = SmallConfig();
+  EXPECT_FALSE(config.Validate().has_value());
+  config.table_capacity = 0;
+  EXPECT_TRUE(config.Validate().has_value());
+  config = SmallConfig();
+  config.sketch.depth = 0;
+  EXPECT_TRUE(config.Validate().has_value());
+}
+
+TEST(HolisticUdafConfigTest, FromSpaceBudget) {
+  const HolisticUdafConfig config =
+      HolisticUdafConfig::FromSpaceBudget(128 * 1024, 8, 32);
+  const HolisticUdaf udaf(config);
+  EXPECT_LE(udaf.MemoryUsageBytes(), 128u * 1024u);
+  EXPECT_GT(udaf.MemoryUsageBytes(), 127u * 1024u);
+}
+
+TEST(HolisticUdafTest, BufferedCountsAreVisibleToQueries) {
+  HolisticUdaf udaf(SmallConfig());
+  udaf.Update(1, 5);
+  udaf.Update(1, 3);
+  // Nothing has been flushed yet; the estimate must still see the counts.
+  EXPECT_EQ(udaf.flush_count(), 0u);
+  EXPECT_EQ(udaf.Estimate(1), 8u);
+}
+
+TEST(HolisticUdafTest, OverflowFlushesWholeTable) {
+  HolisticUdaf udaf(SmallConfig(2));
+  udaf.Update(1);
+  udaf.Update(2);
+  EXPECT_EQ(udaf.flush_count(), 0u);
+  udaf.Update(3);  // table of 2 overflows
+  EXPECT_EQ(udaf.flush_count(), 1u);
+  EXPECT_EQ(udaf.Estimate(1), 1u);
+  EXPECT_EQ(udaf.Estimate(2), 1u);
+  EXPECT_EQ(udaf.Estimate(3), 1u);
+}
+
+TEST(HolisticUdafTest, RepeatedKeysAggregateWithoutFlushing) {
+  HolisticUdaf udaf(SmallConfig(2));
+  for (int i = 0; i < 1000; ++i) udaf.Update(7);
+  for (int i = 0; i < 1000; ++i) udaf.Update(8);
+  EXPECT_EQ(udaf.flush_count(), 0u);
+  EXPECT_EQ(udaf.Estimate(7), 1000u);
+}
+
+TEST(HolisticUdafTest, NeverUnderestimates) {
+  HolisticUdaf udaf(SmallConfig(8, 64, 3));
+  ExactCounter truth(1000);
+  StreamSpec spec;
+  spec.stream_size = 50000;
+  spec.num_distinct = 1000;
+  spec.skew = 1.0;
+  spec.seed = 12;
+  for (const Tuple& t : GenerateStream(spec)) {
+    udaf.Update(t.key, t.value);
+    truth.Update(t.key, t.value);
+  }
+  for (item_t key = 0; key < 1000; ++key) {
+    EXPECT_GE(udaf.Estimate(key), truth.Count(key)) << "key " << key;
+  }
+}
+
+TEST(HolisticUdafTest, ManualFlushMovesEverythingToSketch) {
+  HolisticUdaf udaf(SmallConfig());
+  udaf.Update(1, 5);
+  udaf.Flush();
+  EXPECT_EQ(udaf.flush_count(), 1u);
+  EXPECT_EQ(udaf.Estimate(1), 5u);
+  EXPECT_GE(udaf.sketch().Estimate(1), 5u);
+}
+
+TEST(HolisticUdafTest, DeletionsReleaseBufferedCounts) {
+  HolisticUdaf udaf(SmallConfig());
+  udaf.Update(1, 10);
+  udaf.Update(1, -4);
+  EXPECT_EQ(udaf.Estimate(1), 6u);
+  udaf.Update(1, -6);
+  EXPECT_EQ(udaf.Estimate(1), 0u);
+}
+
+TEST(HolisticUdafTest, DeletionsStayOneSidedUnderChurn) {
+  HolisticUdaf udaf(SmallConfig(4, 128, 9));
+  ExactCounter truth(300);
+  Rng rng(21);
+  std::vector<int> live(300, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const item_t key = static_cast<item_t>(rng.NextBounded(300));
+    if (live[key] > 0 && rng.NextBounded(4) == 0) {
+      udaf.Update(key, -1);
+      truth.Update(key, -1);
+      --live[key];
+    } else {
+      udaf.Update(key, 1);
+      truth.Update(key, 1);
+      ++live[key];
+    }
+  }
+  for (item_t key = 0; key < 300; ++key) {
+    EXPECT_GE(udaf.Estimate(key), truth.Count(key)) << "key " << key;
+  }
+}
+
+TEST(HolisticUdafTest, HighSkewStreamsRarelyFlush) {
+  // The §7 narrative: at high skew the table absorbs nearly everything.
+  HolisticUdaf skewed(SmallConfig(32, 1024, 4));
+  HolisticUdaf uniform(SmallConfig(32, 1024, 4));
+  StreamSpec spec;
+  spec.stream_size = 50000;
+  spec.num_distinct = 10000;
+  spec.seed = 3;
+  spec.skew = 2.5;
+  for (const Tuple& t : GenerateStream(spec)) skewed.Update(t.key, t.value);
+  spec.skew = 0.0;
+  for (const Tuple& t : GenerateStream(spec)) uniform.Update(t.key, t.value);
+  EXPECT_LT(skewed.flush_count() * 10, uniform.flush_count());
+}
+
+TEST(HolisticUdafTest, ResetClearsTableAndSketch) {
+  HolisticUdaf udaf(SmallConfig());
+  udaf.Update(1, 5);
+  udaf.Flush();
+  udaf.Update(2, 3);
+  udaf.Reset();
+  EXPECT_EQ(udaf.Estimate(1), 0u);
+  EXPECT_EQ(udaf.Estimate(2), 0u);
+  EXPECT_EQ(udaf.flush_count(), 0u);
+}
+
+}  // namespace
+}  // namespace asketch

@@ -1,0 +1,104 @@
+// Inner-product (join-size) estimation with Count-Min — the classic
+// second-frequency-moment application (and the setting Skimmed Sketch,
+// cited in the paper's related work, improves on).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/sketch/count_min.h"
+#include "src/workload/exact_counter.h"
+#include "src/workload/stream_generator.h"
+
+namespace asketch {
+namespace {
+
+CountMinConfig JoinConfig(uint32_t depth = 2048) {
+  CountMinConfig config;
+  config.width = 5;
+  config.depth = depth;
+  config.seed = 77;
+  return config;
+}
+
+TEST(JoinEstimationTest, ExactForDisjointSingletons) {
+  CountMin a(JoinConfig()), b(JoinConfig());
+  a.Update(1, 10);
+  b.Update(2, 20);
+  // Disjoint keys: true join size 0; with 2 keys in 2048 cells the
+  // estimate should be exactly 0 w.h.p.
+  EXPECT_EQ(a.InnerProductEstimate(b), 0u);
+}
+
+TEST(JoinEstimationTest, ExactForIdenticalSingletons) {
+  CountMin a(JoinConfig()), b(JoinConfig());
+  a.Update(7, 10);
+  b.Update(7, 20);
+  EXPECT_EQ(a.InnerProductEstimate(b), 200u);
+}
+
+TEST(JoinEstimationTest, IsSymmetric) {
+  CountMin a(JoinConfig()), b(JoinConfig());
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    a.Update(static_cast<item_t>(rng.NextBounded(300)));
+    b.Update(static_cast<item_t>(rng.NextBounded(300)));
+  }
+  EXPECT_EQ(a.InnerProductEstimate(b), b.InnerProductEstimate(a));
+}
+
+TEST(JoinEstimationTest, NeverUnderestimatesTrueJoinSize) {
+  CountMin a(JoinConfig(256)), b(JoinConfig(256));
+  ExactCounter truth_a(500), truth_b(500);
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const item_t ka = static_cast<item_t>(rng.NextBounded(500));
+    const item_t kb = static_cast<item_t>(rng.NextBounded(500));
+    a.Update(ka);
+    truth_a.Update(ka);
+    b.Update(kb);
+    truth_b.Update(kb);
+  }
+  wide_count_t true_join = 0;
+  for (item_t key = 0; key < 500; ++key) {
+    true_join += truth_a.Count(key) * truth_b.Count(key);
+  }
+  EXPECT_GE(a.InnerProductEstimate(b), true_join);
+}
+
+TEST(JoinEstimationTest, EstimateIsReasonablyTightWithEnoughCells) {
+  CountMin a(JoinConfig(8192)), b(JoinConfig(8192));
+  ExactCounter truth_a(2000), truth_b(2000);
+  StreamSpec spec;
+  spec.stream_size = 100000;
+  spec.num_distinct = 2000;
+  spec.skew = 1.1;
+  spec.seed = 5;
+  for (const Tuple& t : GenerateStream(spec)) {
+    a.Update(t.key, t.value);
+    truth_a.Update(t.key, t.value);
+  }
+  spec.seed = 6;
+  for (const Tuple& t : GenerateStream(spec)) {
+    b.Update(t.key, t.value);
+    truth_b.Update(t.key, t.value);
+  }
+  wide_count_t true_join = 0;
+  for (item_t key = 0; key < 2000; ++key) {
+    true_join += truth_a.Count(key) * truth_b.Count(key);
+  }
+  const wide_count_t estimate = a.InnerProductEstimate(b);
+  EXPECT_GE(estimate, true_join);
+  // Error bound ~ N_a*N_b/h; with h = 8192 and N = 100k each the noise
+  // term is ~1.2e6 — allow 4x slack.
+  EXPECT_LE(estimate, true_join + 4ull * 100000ull * 100000ull / 8192ull);
+}
+
+TEST(JoinEstimationTest, RequiresCompatibleSketches) {
+  CountMin a(JoinConfig(1024)), b(JoinConfig(2048));
+  EXPECT_DEATH(a.InnerProductEstimate(b), "Compatible");
+}
+
+}  // namespace
+}  // namespace asketch

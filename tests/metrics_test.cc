@@ -1,0 +1,138 @@
+#include "src/workload/metrics.h"
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace asketch {
+namespace {
+
+// Fixture: truth {0:100, 1:50, 2:10, 3:1, 4:0}.
+ExactCounter MakeTruth() {
+  ExactCounter truth(5);
+  truth.Update(0, 100);
+  truth.Update(1, 50);
+  truth.Update(2, 10);
+  truth.Update(3, 1);
+  return truth;
+}
+
+EstimateFn MapEstimator(std::map<item_t, count_t> values) {
+  return [values = std::move(values)](item_t key) -> count_t {
+    const auto it = values.find(key);
+    return it == values.end() ? 0 : it->second;
+  };
+}
+
+TEST(MetricsTest, ObservedErrorExactEstimatorIsZero) {
+  const ExactCounter truth = MakeTruth();
+  const auto estimator =
+      MapEstimator({{0, 100}, {1, 50}, {2, 10}, {3, 1}});
+  EXPECT_DOUBLE_EQ(
+      ObservedError({0, 1, 2, 3}, estimator, truth), 0.0);
+}
+
+TEST(MetricsTest, ObservedErrorHandComputed) {
+  const ExactCounter truth = MakeTruth();
+  // est: 0->110 (+10), 1->50, 2->15 (+5). Queries 0,1,2:
+  // sum|err| = 15, sum true = 160.
+  const auto estimator = MapEstimator({{0, 110}, {1, 50}, {2, 15}});
+  EXPECT_DOUBLE_EQ(ObservedError({0, 1, 2}, estimator, truth),
+                   15.0 / 160.0);
+}
+
+TEST(MetricsTest, ObservedErrorWeighsRepeatedQueries) {
+  const ExactCounter truth = MakeTruth();
+  const auto estimator = MapEstimator({{0, 110}, {2, 10}});
+  // Query 0 twice: numerator 20, denominator 210.
+  EXPECT_DOUBLE_EQ(ObservedError({0, 0, 2}, estimator, truth),
+                   20.0 / 210.0);
+}
+
+TEST(MetricsTest, AverageRelativeErrorHandComputed) {
+  const ExactCounter truth = MakeTruth();
+  // rel errors: 0: 10/100 = 0.1 ; 2: 5/10 = 0.5 ; mean = 0.3.
+  const auto estimator = MapEstimator({{0, 110}, {2, 15}});
+  EXPECT_DOUBLE_EQ(AverageRelativeError({0, 2}, estimator, truth), 0.3);
+}
+
+TEST(MetricsTest, AverageRelativeErrorSkipsZeroTruth) {
+  const ExactCounter truth = MakeTruth();
+  const auto estimator = MapEstimator({{0, 100}, {4, 1000}});
+  // Key 4 has truth 0 and must be skipped; key 0 contributes 0.
+  EXPECT_DOUBLE_EQ(AverageRelativeError({0, 4}, estimator, truth), 0.0);
+}
+
+TEST(MetricsTest, PrecisionAtKPerfectReport) {
+  const ExactCounter truth = MakeTruth();
+  EXPECT_DOUBLE_EQ(PrecisionAtK({0, 1}, truth, 2), 1.0);
+}
+
+TEST(MetricsTest, PrecisionAtKPartialReport) {
+  const ExactCounter truth = MakeTruth();
+  // Reported {0, 3}: key 3 (count 1) is below the 2nd-ranked count 50.
+  EXPECT_DOUBLE_EQ(PrecisionAtK({0, 3}, truth, 2), 0.5);
+}
+
+TEST(MetricsTest, PrecisionAtKShortReportPenalized) {
+  const ExactCounter truth = MakeTruth();
+  EXPECT_DOUBLE_EQ(PrecisionAtK({0}, truth, 2), 0.5);
+}
+
+TEST(MetricsTest, PrecisionAtKIgnoresExtraEntries) {
+  const ExactCounter truth = MakeTruth();
+  // Only the first k reported entries are considered.
+  EXPECT_DOUBLE_EQ(PrecisionAtK({0, 1, 3, 3, 3}, truth, 2), 1.0);
+}
+
+TEST(MetricsTest, FindMisclassifiedKeys) {
+  const ExactCounter truth = MakeTruth();
+  // k=2: threshold = 50. Key 3 (truth 1) estimated at 60 -> misclassified;
+  // key 2 (truth 10) estimated at 20 -> fine.
+  const auto estimator =
+      MapEstimator({{0, 100}, {1, 50}, {2, 20}, {3, 60}});
+  const auto mis = FindMisclassifiedKeys(estimator, truth, 2);
+  ASSERT_EQ(mis.size(), 1u);
+  EXPECT_EQ(mis[0].key, 3u);
+  EXPECT_EQ(mis[0].true_count, 1u);
+  EXPECT_EQ(mis[0].estimate, 60u);
+  EXPECT_DOUBLE_EQ(mis[0].RelativeError(), 59.0);
+}
+
+TEST(MetricsTest, MisclassificationOfZeroTruthKey) {
+  const ExactCounter truth = MakeTruth();
+  const auto estimator = MapEstimator({{4, 70}});
+  const auto mis = FindMisclassifiedKeys(estimator, truth, 2);
+  ASSERT_EQ(mis.size(), 1u);
+  EXPECT_EQ(mis[0].key, 4u);
+  EXPECT_DOUBLE_EQ(mis[0].RelativeError(), 70.0);
+}
+
+TEST(MetricsTest, NoMisclassificationsForExactEstimator) {
+  const ExactCounter truth = MakeTruth();
+  const auto estimator =
+      MapEstimator({{0, 100}, {1, 50}, {2, 10}, {3, 1}});
+  EXPECT_TRUE(FindMisclassifiedKeys(estimator, truth, 2).empty());
+}
+
+TEST(MetricsTest, TopErrorItemsMeanError) {
+  const ExactCounter truth = MakeTruth();
+  // errors: 0:+20, 1:+10, 2:0, 3:0, 4:+5. Top-2 mean = 15.
+  const auto estimator =
+      MapEstimator({{0, 120}, {1, 60}, {2, 10}, {3, 1}, {4, 5}});
+  EXPECT_DOUBLE_EQ(TopErrorItemsMeanError(estimator, truth, 2), 15.0);
+}
+
+TEST(MetricsTest, LowFrequencyAverageRelativeError) {
+  const ExactCounter truth = MakeTruth();
+  // k=2 -> threshold 50; low-frequency keys with truth>0: 2 (10), 3 (1).
+  // est 2->15 (rel 0.5), 3->2 (rel 1.0) => mean 0.75.
+  const auto estimator =
+      MapEstimator({{0, 100}, {1, 50}, {2, 15}, {3, 2}});
+  EXPECT_DOUBLE_EQ(
+      LowFrequencyAverageRelativeError(estimator, truth, 2), 0.75);
+}
+
+}  // namespace
+}  // namespace asketch

@@ -1,0 +1,147 @@
+// Pipeline-parallel ASketch (§6.2): correctness of the message protocol.
+
+#include "src/core/pipeline_asketch.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/workload/exact_counter.h"
+#include "src/workload/stream_generator.h"
+
+namespace asketch {
+namespace {
+
+ASketchConfig SmallConfig() {
+  ASketchConfig config;
+  config.total_bytes = 16 * 1024;
+  config.width = 4;
+  config.filter_items = 16;
+  config.seed = 5;
+  return config;
+}
+
+TEST(PipelineASketchTest, EmptyPipelineFlushesImmediately) {
+  PipelineASketch pipeline(SmallConfig());
+  pipeline.Flush();
+  EXPECT_EQ(pipeline.Estimate(1), 0u);
+}
+
+TEST(PipelineASketchTest, FilterOnlyTrafficIsExact) {
+  PipelineASketch pipeline(SmallConfig());
+  for (int i = 0; i < 100; ++i) {
+    pipeline.Update(1);
+    pipeline.Update(2);
+  }
+  pipeline.Flush();
+  EXPECT_EQ(pipeline.Estimate(1), 100u);
+  EXPECT_EQ(pipeline.Estimate(2), 100u);
+  EXPECT_EQ(pipeline.stats().forwarded, 0u);
+}
+
+TEST(PipelineASketchTest, OverflowTrafficReachesSketch) {
+  PipelineASketch pipeline(SmallConfig(), /*queue_capacity=*/64);
+  // 16 filter slots; key 1000+i are one-shot keys beyond capacity.
+  for (item_t key = 0; key < 200; ++key) {
+    pipeline.Update(key, 1);
+  }
+  pipeline.Flush();
+  EXPECT_GT(pipeline.stats().forwarded, 0u);
+  wide_count_t total = 0;
+  for (item_t key = 0; key < 200; ++key) {
+    const count_t est = pipeline.Estimate(key);
+    EXPECT_GE(est, 1u) << "key " << key;
+    total += est;
+  }
+  EXPECT_GE(total, 200u);
+}
+
+TEST(PipelineASketchTest, HotKeyMigratesIntoFilter) {
+  PipelineASketch pipeline(SmallConfig(), /*queue_capacity=*/64);
+  // Fill the filter with 16 distinct lukewarm keys.
+  for (item_t key = 0; key < 16; ++key) pipeline.Update(key, 3);
+  // Key 777 is hot; it must eventually be exchanged into the filter.
+  for (int i = 0; i < 1000; ++i) pipeline.Update(777);
+  pipeline.Flush();
+  EXPECT_GT(pipeline.stats().exchanges, 0u);
+  const auto top = pipeline.TopK();
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].key, 777u);
+  EXPECT_GE(pipeline.Estimate(777), 1000u);
+}
+
+TEST(PipelineASketchTest, NeverUnderestimatesAfterFlush) {
+  PipelineASketch pipeline(SmallConfig(), /*queue_capacity=*/128);
+  ExactCounter truth(3000);
+  StreamSpec spec;
+  spec.stream_size = 200000;
+  spec.num_distinct = 3000;
+  spec.skew = 1.2;
+  spec.seed = 71;
+  for (const Tuple& t : GenerateStream(spec)) {
+    pipeline.Update(t.key, t.value);
+    truth.Update(t.key, t.value);
+  }
+  pipeline.Flush();
+  for (item_t key = 0; key < 3000; ++key) {
+    ASSERT_GE(pipeline.Estimate(key), truth.Count(key)) << "key " << key;
+  }
+}
+
+TEST(PipelineASketchTest, RepeatedFlushesAreIdempotent) {
+  PipelineASketch pipeline(SmallConfig());
+  for (int i = 0; i < 1000; ++i) {
+    pipeline.Update(static_cast<item_t>(i % 40));
+  }
+  pipeline.Flush();
+  const count_t first = pipeline.Estimate(7);
+  pipeline.Flush();
+  EXPECT_EQ(pipeline.Estimate(7), first);
+}
+
+TEST(PipelineASketchTest, UpdatesAfterFlushKeepWorking) {
+  PipelineASketch pipeline(SmallConfig());
+  for (int i = 0; i < 100; ++i) pipeline.Update(1);
+  pipeline.Flush();
+  EXPECT_EQ(pipeline.Estimate(1), 100u);
+  for (int i = 0; i < 50; ++i) pipeline.Update(1);
+  pipeline.Flush();
+  EXPECT_EQ(pipeline.Estimate(1), 150u);
+}
+
+TEST(PipelineASketchTest, TinyQueuesExerciseBackpressure) {
+  PipelineASketch pipeline(SmallConfig(), /*queue_capacity=*/4);
+  ExactCounter truth(500);
+  Rng rng(83);
+  // Modest size: with 4-slot queues on a single hardware thread, every
+  // push is a backpressure yield storm — the point is to hammer the
+  // re-entrant drain paths, not to be a throughput test.
+  for (int i = 0; i < 20000; ++i) {
+    const item_t key = static_cast<item_t>(rng.NextBounded(500));
+    pipeline.Update(key);
+    truth.Update(key);
+  }
+  pipeline.Flush();
+  for (item_t key = 0; key < 500; ++key) {
+    ASSERT_GE(pipeline.Estimate(key), truth.Count(key)) << "key " << key;
+  }
+}
+
+TEST(PipelineASketchTest, StatsAccounting) {
+  PipelineASketch pipeline(SmallConfig());
+  for (item_t key = 0; key < 100; ++key) pipeline.Update(key);
+  pipeline.Flush();
+  const PipelineStats& stats = pipeline.stats();
+  EXPECT_EQ(stats.filter_hits + stats.forwarded, 100u);
+  EXPECT_EQ(stats.fixups_applied + stats.fixups_dropped, stats.exchanges);
+}
+
+TEST(PipelineASketchTest, RejectsNonPositiveDeltas) {
+  PipelineASketch pipeline(SmallConfig());
+  EXPECT_DEATH(pipeline.Update(1, 0), "delta");
+  EXPECT_DEATH(pipeline.Update(1, -1), "delta");
+}
+
+}  // namespace
+}  // namespace asketch

@@ -1,0 +1,85 @@
+#include "src/core/pipeline_holistic_udaf.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/workload/exact_counter.h"
+#include "src/workload/stream_generator.h"
+
+namespace asketch {
+namespace {
+
+HolisticUdafConfig SmallConfig(uint32_t table = 8) {
+  HolisticUdafConfig config;
+  config.table_capacity = table;
+  config.sketch.width = 4;
+  config.sketch.depth = 1024;
+  config.sketch.seed = 11;
+  return config;
+}
+
+TEST(PipelineHolisticUdafTest, BufferedCountsFlushOnDemand) {
+  PipelineHolisticUdaf pipeline(SmallConfig());
+  pipeline.Update(1, 5);
+  pipeline.Update(1, 3);
+  pipeline.Flush();
+  EXPECT_EQ(pipeline.Estimate(1), 8u);
+}
+
+TEST(PipelineHolisticUdafTest, OverflowFlushesThroughTheQueue) {
+  PipelineHolisticUdaf pipeline(SmallConfig(2));
+  pipeline.Update(1);
+  pipeline.Update(2);
+  pipeline.Update(3);  // overflow -> async flush of {1, 2}
+  pipeline.Flush();
+  EXPECT_GE(pipeline.flush_count(), 1u);
+  EXPECT_EQ(pipeline.Estimate(1), 1u);
+  EXPECT_EQ(pipeline.Estimate(2), 1u);
+  EXPECT_EQ(pipeline.Estimate(3), 1u);
+}
+
+TEST(PipelineHolisticUdafTest, NeverUnderestimatesAfterFlush) {
+  PipelineHolisticUdaf pipeline(SmallConfig(16));
+  ExactCounter truth(2000);
+  StreamSpec spec;
+  spec.stream_size = 100000;
+  spec.num_distinct = 2000;
+  spec.skew = 1.0;
+  spec.seed = 77;
+  for (const Tuple& t : GenerateStream(spec)) {
+    pipeline.Update(t.key, t.value);
+    truth.Update(t.key, t.value);
+  }
+  pipeline.Flush();
+  for (item_t key = 0; key < 2000; ++key) {
+    ASSERT_GE(pipeline.Estimate(key), truth.Count(key)) << "key " << key;
+  }
+}
+
+TEST(PipelineHolisticUdafTest, TinyQueueBackpressure) {
+  PipelineHolisticUdaf pipeline(SmallConfig(4), /*queue_capacity=*/2);
+  Rng rng(13);
+  ExactCounter truth(100);
+  for (int i = 0; i < 20000; ++i) {
+    const item_t key = static_cast<item_t>(rng.NextBounded(100));
+    pipeline.Update(key);
+    truth.Update(key);
+  }
+  pipeline.Flush();
+  for (item_t key = 0; key < 100; ++key) {
+    ASSERT_GE(pipeline.Estimate(key), truth.Count(key)) << "key " << key;
+  }
+}
+
+TEST(PipelineHolisticUdafTest, UpdatesAfterFlushKeepWorking) {
+  PipelineHolisticUdaf pipeline(SmallConfig());
+  for (int i = 0; i < 100; ++i) pipeline.Update(5);
+  pipeline.Flush();
+  EXPECT_EQ(pipeline.Estimate(5), 100u);
+  for (int i = 0; i < 50; ++i) pipeline.Update(5);
+  pipeline.Flush();
+  EXPECT_EQ(pipeline.Estimate(5), 150u);
+}
+
+}  // namespace
+}  // namespace asketch

@@ -1,0 +1,210 @@
+// Parameterized property sweeps: the core invariants checked across a
+// grid of configurations (sketch geometry × skew × budget), in the
+// spirit of exhaustive property-based testing.
+
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/asketch.h"
+#include "src/workload/exact_counter.h"
+#include "src/workload/stream_generator.h"
+
+namespace asketch {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Count-Min: one-sidedness and expected-error scaling over geometries.
+// ---------------------------------------------------------------------------
+
+class CountMinGeometrySweep
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>> {};
+
+TEST_P(CountMinGeometrySweep, OneSidedAndBounded) {
+  const auto [width, depth] = GetParam();
+  CountMinConfig config;
+  config.width = width;
+  config.depth = depth;
+  config.seed = width * 131 + depth;
+  CountMin sketch(config);
+  ExactCounter truth(3000);
+  StreamSpec spec;
+  spec.stream_size = 30000;
+  spec.num_distinct = 3000;
+  spec.skew = 1.0;
+  spec.seed = width + depth;
+  for (const Tuple& t : GenerateStream(spec)) {
+    sketch.Update(t.key, t.value);
+    truth.Update(t.key, t.value);
+  }
+  // One-sidedness everywhere; mean over-estimate below a loose multiple
+  // of the analytic N/depth bound.
+  double total_error = 0;
+  for (item_t key = 0; key < 3000; ++key) {
+    const count_t est = sketch.Estimate(key);
+    ASSERT_GE(est, truth.Count(key)) << "key " << key;
+    total_error += static_cast<double>(est) - truth.Count(key);
+  }
+  const double mean_error = total_error / 3000;
+  EXPECT_LE(mean_error, 3.0 * 30000 / depth + 1.0)
+      << "w=" << width << " h=" << depth;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CountMinGeometrySweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u, 16u),
+                       ::testing::Values(64u, 256u, 1024u, 4096u)));
+
+// ---------------------------------------------------------------------------
+// ASketch: space identity and one-sidedness over budget x filter-size.
+// ---------------------------------------------------------------------------
+
+class ASketchBudgetSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, uint32_t>> {};
+
+TEST_P(ASketchBudgetSweep, SpaceIdentityAndOneSidedness) {
+  const auto [budget_kb, filter_items] = GetParam();
+  ASketchConfig config;
+  config.total_bytes = budget_kb * 1024;
+  config.width = 8;
+  config.filter_items = filter_items;
+  if (filter_items * RelaxedHeapFilter::BytesPerItem() >=
+      config.total_bytes / 2) {
+    GTEST_SKIP() << "filter would consume most of the budget";
+  }
+  config.seed = budget_kb * 7 + filter_items;
+  auto as = MakeASketchCountMin<RelaxedHeapFilter>(config);
+  // Exactly the plain sketch's budget or less, and never more than one
+  // cell-row's rounding below it.
+  EXPECT_LE(as.MemoryUsageBytes(), config.total_bytes);
+  EXPECT_GT(as.MemoryUsageBytes(),
+            config.total_bytes - config.width * sizeof(count_t) -
+                RelaxedHeapFilter::BytesPerItem());
+  ExactCounter truth(2000);
+  StreamSpec spec;
+  spec.stream_size = 20000;
+  spec.num_distinct = 2000;
+  spec.skew = 1.4;
+  spec.seed = 3 + filter_items;
+  for (const Tuple& t : GenerateStream(spec)) {
+    as.Update(t.key, t.value);
+    truth.Update(t.key, t.value);
+  }
+  for (item_t key = 0; key < 2000; ++key) {
+    ASSERT_GE(as.Estimate(key), truth.Count(key)) << "key " << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Budgets, ASketchBudgetSweep,
+    ::testing::Combine(::testing::Values<size_t>(4, 16, 64, 128),
+                       ::testing::Values(8u, 32u, 128u, 512u)));
+
+// ---------------------------------------------------------------------------
+// ASketch error vs Count-Min across skews: the paper's headline property
+// (never meaningfully worse; better once skew kicks in).
+// ---------------------------------------------------------------------------
+
+class ASketchSkewSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ASketchSkewSweep, TotalOverestimateNotWorseThanCountMin) {
+  const double skew = GetParam();
+  const size_t budget = 16 * 1024;
+  CountMin cm(CountMinConfig::FromSpaceBudget(budget, 8, 9));
+  ASketchConfig config;
+  config.total_bytes = budget;
+  config.width = 8;
+  config.filter_items = 32;
+  config.seed = 9;
+  auto as = MakeASketchCountMin<RelaxedHeapFilter>(config);
+  ExactCounter truth(50000);
+  StreamSpec spec;
+  spec.stream_size = 200000;
+  spec.num_distinct = 50000;
+  spec.skew = skew;
+  spec.seed = 1000 + static_cast<uint64_t>(skew * 10);
+  for (const Tuple& t : GenerateStream(spec)) {
+    cm.Update(t.key, t.value);
+    as.Update(t.key, t.value);
+    truth.Update(t.key, t.value);
+  }
+  // Frequency-weighted total error (observed-error numerator over the
+  // whole domain, weighting keys by their own frequency — the paper's
+  // query mix).
+  double cm_error = 0, as_error = 0, weight_sum = 0;
+  for (item_t key = 0; key < 50000; ++key) {
+    const double weight = static_cast<double>(truth.Count(key));
+    cm_error +=
+        weight * (static_cast<double>(cm.Estimate(key)) - truth.Count(key));
+    as_error +=
+        weight * (static_cast<double>(as.Estimate(key)) - truth.Count(key));
+    weight_sum += weight * truth.Count(key);
+  }
+  // Normalize to the paper's observed-error form.
+  const double cm_observed = cm_error / weight_sum;
+  const double as_observed = as_error / weight_sum;
+  // At low skew ASketch may be marginally worse (smaller h'); in the
+  // real-world range it must win. At very high skew both errors are at
+  // the noise floor, so an absolute tolerance applies throughout.
+  constexpr double kFloor = 1e-5;  // 0.001% observed error
+  if (skew >= 1.0) {
+    EXPECT_LE(as_observed, cm_observed + kFloor) << "skew " << skew;
+  } else {
+    EXPECT_LE(as_observed, cm_observed * 1.25 + kFloor)
+        << "skew " << skew;
+  }
+  // And in the mid-skew sweet spot the win must be decisive.
+  if (skew >= 1.25 && skew <= 1.75) {
+    EXPECT_LT(as_observed, cm_observed) << "skew " << skew;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ASketchSkewSweep,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0,
+                                           1.25, 1.5, 1.75, 2.0, 2.5,
+                                           3.0));
+
+// ---------------------------------------------------------------------------
+// Filter-design equivalence: all four designs produce identical ASketch
+// estimates when exchanges never tie (deterministic stream).
+// ---------------------------------------------------------------------------
+
+TEST(FilterEquivalenceTest, AllDesignsAgreeOnEstimatesWithoutTies) {
+  // Weights chosen so no two filter entries ever share a new_count:
+  // min-eviction is then unambiguous and every design must behave
+  // identically.
+  const CountMinConfig sketch_config =
+      CountMinConfig::FromSpaceBudget(8 * 1024, 4, 13);
+  ASketch<VectorFilter, CountMin> a(VectorFilter(8),
+                                    CountMin(sketch_config));
+  ASketch<StrictHeapFilter, CountMin> b(StrictHeapFilter(8),
+                                        CountMin(sketch_config));
+  ASketch<RelaxedHeapFilter, CountMin> c(RelaxedHeapFilter(8),
+                                         CountMin(sketch_config));
+  ASketch<StreamSummaryFilter, CountMin> d(StreamSummaryFilter(8),
+                                           CountMin(sketch_config));
+  Rng rng(55);
+  count_t next_weight = 1;
+  for (int i = 0; i < 5000; ++i) {
+    const item_t key = static_cast<item_t>(rng.NextBounded(64));
+    const count_t weight = next_weight;
+    next_weight += 1 + static_cast<count_t>(rng.NextBounded(3));
+    a.Update(key, weight);
+    b.Update(key, weight);
+    c.Update(key, weight);
+    d.Update(key, weight);
+  }
+  for (item_t key = 0; key < 64; ++key) {
+    const count_t expected = a.Estimate(key);
+    ASSERT_EQ(b.Estimate(key), expected) << "key " << key;
+    ASSERT_EQ(c.Estimate(key), expected) << "key " << key;
+    ASSERT_EQ(d.Estimate(key), expected) << "key " << key;
+  }
+  EXPECT_EQ(a.stats().exchanges, b.stats().exchanges);
+  EXPECT_EQ(a.stats().exchanges, c.stats().exchanges);
+  EXPECT_EQ(a.stats().exchanges, d.stats().exchanges);
+}
+
+}  // namespace
+}  // namespace asketch

@@ -1,0 +1,81 @@
+#include "src/workload/query_generator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/workload/exact_counter.h"
+#include "src/workload/stream_generator.h"
+
+namespace asketch {
+namespace {
+
+std::vector<Tuple> TestStream() {
+  StreamSpec spec;
+  spec.stream_size = 50000;
+  spec.num_distinct = 1000;
+  spec.skew = 1.5;
+  spec.seed = 13;
+  return GenerateStream(spec);
+}
+
+TEST(QueryGeneratorTest, ProducesRequestedCount) {
+  const auto stream = TestStream();
+  const auto queries = GenerateQueries(
+      stream, 1000, 777, QuerySampling::kFrequencyProportional, 1);
+  EXPECT_EQ(queries.size(), 777u);
+}
+
+TEST(QueryGeneratorTest, DeterministicForSameSeed) {
+  const auto stream = TestStream();
+  const auto a = GenerateQueries(stream, 1000, 100,
+                                 QuerySampling::kFrequencyProportional, 5);
+  const auto b = GenerateQueries(stream, 1000, 100,
+                                 QuerySampling::kFrequencyProportional, 5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(QueryGeneratorTest, FrequencyProportionalFavoursHotKeys) {
+  const auto stream = TestStream();
+  ExactCounter truth(1000);
+  for (const Tuple& t : stream) truth.Update(t.key, t.value);
+  const item_t hottest = truth.KeysByFrequency()[0];
+  const auto queries = GenerateQueries(
+      stream, 1000, 20000, QuerySampling::kFrequencyProportional, 3);
+  uint64_t hottest_queries = 0;
+  for (const item_t key : queries) {
+    if (key == hottest) ++hottest_queries;
+  }
+  const double expected_share = static_cast<double>(truth.Count(hottest)) /
+                                static_cast<double>(truth.Total());
+  const double observed_share = static_cast<double>(hottest_queries) /
+                                static_cast<double>(queries.size());
+  EXPECT_NEAR(observed_share, expected_share, 0.05);
+  EXPECT_GT(observed_share, 0.1);  // skew 1.5: the head dominates
+}
+
+TEST(QueryGeneratorTest, UniformModeCoversTheDomainEvenly) {
+  const auto stream = TestStream();
+  const auto queries = GenerateQueries(
+      stream, 100, 50000, QuerySampling::kUniformOverDistinct, 7);
+  std::vector<int> histogram(100, 0);
+  for (const item_t key : queries) {
+    ASSERT_LT(key, 100u);
+    ++histogram[key];
+  }
+  for (const int count : histogram) {
+    EXPECT_NEAR(count, 500, 150);
+  }
+}
+
+TEST(QueryGeneratorTest, UniformModeIgnoresStreamContents) {
+  const auto queries = GenerateQueries(
+      {}, 50, 1000, QuerySampling::kUniformOverDistinct, 9);
+  EXPECT_EQ(queries.size(), 1000u);
+  for (const item_t key : queries) {
+    ASSERT_LT(key, 50u);
+  }
+}
+
+}  // namespace
+}  // namespace asketch

@@ -1,0 +1,103 @@
+#include "src/common/random.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace asketch {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, SeedZeroIsWellMixed) {
+  Rng rng(0);
+  // A badly-seeded xoshiro (all-zero state) would output zeros forever.
+  bool any_nonzero = false;
+  for (int i = 0; i < 10; ++i) {
+    if (rng.NextU64() != 0) any_nonzero = true;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(RngTest, ReseedRestartsSequence) {
+  Rng rng(7);
+  const uint64_t first = rng.NextU64();
+  rng.NextU64();
+  rng.Seed(7);
+  EXPECT_EQ(rng.NextU64(), first);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(42);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedOneAlwaysZero) {
+  Rng rng(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.NextBounded(1), 0u);
+  }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(42);
+  constexpr uint64_t kBound = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> histogram(kBound, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++histogram[rng.NextBounded(kBound)];
+  }
+  const double expected = static_cast<double>(kSamples) / kBound;
+  for (const int count : histogram) {
+    EXPECT_GT(count, expected * 0.9);
+    EXPECT_LT(count, expected * 1.1);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoublePositiveNeverZero) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDoublePositive();
+    EXPECT_GT(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsNearHalf) {
+  Rng rng(9);
+  double sum = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace asketch

@@ -1,0 +1,143 @@
+#include "src/common/simd_scan.h"
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/bit_util.h"
+#include "src/common/random.h"
+
+namespace asketch {
+namespace {
+
+// Runs every compiled FindKey variant and checks they agree with the
+// scalar reference.
+int32_t FindKeyAllVariants(const std::vector<uint32_t>& ids, size_t n,
+                           uint32_t key) {
+  const int32_t scalar = FindKeyScalar(ids.data(), n, key);
+#if defined(__SSE2__)
+  EXPECT_EQ(FindKeySse2(ids.data(), ids.size(), n, key), scalar);
+#endif
+#if defined(__AVX2__)
+  EXPECT_EQ(FindKeyAvx2(ids.data(), ids.size(), n, key), scalar);
+#endif
+  EXPECT_EQ(FindKey(ids.data(), ids.size(), n, key), scalar);
+  return scalar;
+}
+
+TEST(SimdScanTest, FindsEveryPosition) {
+  std::vector<uint32_t> ids(64);
+  for (size_t i = 0; i < 64; ++i) ids[i] = 1000 + i;
+  for (size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(FindKeyAllVariants(ids, 64, 1000 + i),
+              static_cast<int32_t>(i));
+  }
+}
+
+TEST(SimdScanTest, MissingKeyReturnsMinusOne) {
+  std::vector<uint32_t> ids(32, 7);
+  EXPECT_EQ(FindKeyAllVariants(ids, 32, 8), -1);
+}
+
+TEST(SimdScanTest, FirstMatchWinsOnDuplicates) {
+  std::vector<uint32_t> ids(32, 0);
+  ids[5] = 42;
+  ids[20] = 42;
+  EXPECT_EQ(FindKeyAllVariants(ids, 32, 42), 5);
+}
+
+TEST(SimdScanTest, MatchInPaddingIsIgnored) {
+  // Capacity 32, logical size 10; the padding holds the searched key.
+  std::vector<uint32_t> ids(32, /*pad value=*/99);
+  for (size_t i = 0; i < 10; ++i) ids[i] = i;
+  EXPECT_EQ(FindKeyAllVariants(ids, 10, 99), -1);
+}
+
+TEST(SimdScanTest, LogicalMatchBeatsPaddingMatch) {
+  // Padding (indices >= 4) is full of 77; the only logical 77 is at 3.
+  std::vector<uint32_t> ids(32, 77);
+  ids[0] = 0;
+  ids[1] = 1;
+  ids[2] = 2;
+  EXPECT_EQ(FindKeyAllVariants(ids, 4, 77), 3);
+}
+
+TEST(SimdScanTest, ZeroKeyAndMaxKeyWork) {
+  std::vector<uint32_t> ids(16, 1);
+  ids[7] = 0;
+  ids[9] = std::numeric_limits<uint32_t>::max();
+  EXPECT_EQ(FindKeyAllVariants(ids, 16, 0), 7);
+  EXPECT_EQ(FindKeyAllVariants(ids, 16, ~0u), 9);
+}
+
+TEST(SimdScanTest, EmptyLogicalRangeNeverMatches) {
+  std::vector<uint32_t> ids(16, 5);
+  EXPECT_EQ(FindKeyAllVariants(ids, 0, 5), -1);
+}
+
+class SimdScanRandomizedTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SimdScanRandomizedTest, AgreesWithScalarOnRandomArrays) {
+  const size_t n = GetParam();
+  const size_t padded = RoundUp(std::max<size_t>(n, 1), kSimdBlockElements);
+  Rng rng(n * 7919 + 3);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<uint32_t> ids(padded);
+    for (auto& id : ids) {
+      id = static_cast<uint32_t>(rng.NextBounded(64));  // force duplicates
+    }
+    for (uint32_t key = 0; key < 64; ++key) {
+      FindKeyAllVariants(ids, n, key);  // EXPECTs run inside
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SimdScanRandomizedTest,
+                         ::testing::Values(1, 7, 15, 16, 17, 31, 32, 48, 64,
+                                           100, 128, 1024));
+
+TEST(MinIndexTest, FindsTheMinimum) {
+  std::vector<uint32_t> counts = {5, 3, 9, 3, 7, 1, 8, 1,
+                                  5, 3, 9, 3, 7, 2, 8, 2};
+  EXPECT_EQ(MinIndexScalar(counts.data(), counts.size()), 5u);
+  EXPECT_EQ(MinIndex(counts.data(), counts.size(), counts.size()), 5u);
+}
+
+TEST(MinIndexTest, SingleElement) {
+  std::vector<uint32_t> counts(16, ~0u);
+  counts[0] = 42;
+  EXPECT_EQ(MinIndex(counts.data(), 16, 1), 0u);
+}
+
+class MinIndexRandomizedTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MinIndexRandomizedTest, AgreesWithScalarOnRandomArrays) {
+  const size_t n = GetParam();
+  const size_t padded = RoundUp(n, kSimdBlockElements);
+  Rng rng(n * 104729 + 1);
+  for (int round = 0; round < 100; ++round) {
+    std::vector<uint32_t> counts(padded, ~0u);
+    for (size_t i = 0; i < n; ++i) {
+      counts[i] = static_cast<uint32_t>(rng.NextBounded(1000));
+    }
+    const size_t expected = MinIndexScalar(counts.data(), n);
+    const size_t got = MinIndex(counts.data(), padded, n);
+    // Both must locate a cell holding the minimum value; the scalar
+    // reference returns the first one, and so must the vector version.
+    EXPECT_EQ(got, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MinIndexRandomizedTest,
+                         ::testing::Values(1, 2, 8, 15, 16, 17, 32, 33, 64,
+                                           100, 256));
+
+TEST(MinIndexTest, AllEqualValuesReturnsFirst) {
+  std::vector<uint32_t> counts(32, 5);
+  EXPECT_EQ(MinIndex(counts.data(), 32, 32), 0u);
+}
+
+}  // namespace
+}  // namespace asketch

@@ -1,0 +1,137 @@
+#include "src/sketch/space_saving.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/workload/exact_counter.h"
+#include "src/workload/stream_generator.h"
+
+namespace asketch {
+namespace {
+
+TEST(SpaceSavingTest, ExactWhileNotFull) {
+  SpaceSaving ss(8);
+  ss.Update(1);
+  ss.Update(1);
+  ss.Update(2);
+  EXPECT_EQ(ss.Estimate(1), 2u);
+  EXPECT_EQ(ss.Estimate(2), 1u);
+  EXPECT_EQ(ss.size(), 2u);
+}
+
+TEST(SpaceSavingTest, EvictionInheritsMinCount) {
+  SpaceSaving ss(2);
+  ss.Update(1, 10);
+  ss.Update(2, 5);
+  ss.Update(3);  // evicts key 2 (count 5); key 3 gets count 6, error 5
+  EXPECT_FALSE(ss.Contains(2));
+  EXPECT_TRUE(ss.Contains(3));
+  EXPECT_EQ(ss.Estimate(3), 6u);
+  const auto top = ss.TopK();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, 1u);
+  EXPECT_EQ(top[1].key, 3u);
+  EXPECT_EQ(top[1].error, 5u);
+}
+
+TEST(SpaceSavingTest, MonitoredCountsAreUpperBounds) {
+  SpaceSaving ss(16);
+  ExactCounter truth(500);
+  Rng rng(5);
+  for (int i = 0; i < 30000; ++i) {
+    const item_t key = static_cast<item_t>(rng.NextBounded(500));
+    ss.Update(key);
+    truth.Update(key);
+  }
+  for (const SpaceSavingEntry& e : ss.TopK()) {
+    EXPECT_GE(e.count, truth.Count(e.key));
+    EXPECT_LE(e.count - e.error, truth.Count(e.key));
+  }
+}
+
+TEST(SpaceSavingTest, GuaranteedHeavyHittersAreMonitored) {
+  // Any key with frequency > N/k must be monitored.
+  const uint32_t k = 10;
+  SpaceSaving ss(k);
+  ExactCounter truth(100);
+  StreamSpec spec;
+  spec.stream_size = 20000;
+  spec.num_distinct = 100;
+  spec.skew = 1.4;
+  spec.seed = 77;
+  for (const Tuple& t : GenerateStream(spec)) {
+    ss.Update(t.key, t.value);
+    truth.Update(t.key, t.value);
+  }
+  for (item_t key = 0; key < 100; ++key) {
+    if (truth.Count(key) > truth.Total() / k) {
+      EXPECT_TRUE(ss.Contains(key)) << "heavy key " << key;
+    }
+  }
+}
+
+TEST(SpaceSavingTest, MinAndZeroModesForUnmonitoredKeys) {
+  SpaceSaving min_mode(2, SpaceSavingEstimateMode::kMin);
+  SpaceSaving zero_mode(2, SpaceSavingEstimateMode::kZero);
+  for (const auto& [key, weight] :
+       std::vector<std::pair<item_t, count_t>>{{1, 10}, {2, 7}}) {
+    min_mode.Update(key, weight);
+    zero_mode.Update(key, weight);
+  }
+  EXPECT_EQ(min_mode.Estimate(999), 7u);   // the minimum counter
+  EXPECT_EQ(zero_mode.Estimate(999), 0u);
+}
+
+TEST(SpaceSavingTest, MinModeNeverUnderestimates) {
+  SpaceSaving ss(8, SpaceSavingEstimateMode::kMin);
+  ExactCounter truth(200);
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const item_t key = static_cast<item_t>(rng.NextBounded(200));
+    ss.Update(key);
+    truth.Update(key);
+  }
+  for (item_t key = 0; key < 200; ++key) {
+    EXPECT_GE(ss.Estimate(key), truth.Count(key)) << "key " << key;
+  }
+}
+
+TEST(SpaceSavingTest, TopKSortedDescending) {
+  SpaceSaving ss(8);
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    ss.Update(static_cast<item_t>(rng.NextBounded(20)));
+  }
+  const auto top = ss.TopK();
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].count, top[i].count);
+  }
+}
+
+TEST(SpaceSavingTest, RejectsNonPositiveWeights) {
+  SpaceSaving ss(4);
+  ss.Update(1, 5);
+  EXPECT_DEATH(ss.Update(1, 0), "weight");
+  EXPECT_DEATH(ss.Update(1, -1), "weight");
+}
+
+TEST(SpaceSavingTest, ResetEmptiesSummary) {
+  SpaceSaving ss(4);
+  ss.Update(1, 5);
+  ss.Reset();
+  EXPECT_EQ(ss.size(), 0u);
+  EXPECT_EQ(ss.Estimate(1), 0u);
+}
+
+TEST(SpaceSavingTest, MemoryAccountingReflectsPointerOverhead) {
+  // The stream-summary structure costs several times the flat 12 B/item.
+  EXPECT_GE(SpaceSaving::BytesPerItem(), 40u);
+  SpaceSaving ss(32);
+  EXPECT_EQ(ss.MemoryUsageBytes(), 32 * SpaceSaving::BytesPerItem());
+}
+
+}  // namespace
+}  // namespace asketch

@@ -1,0 +1,124 @@
+// SPMD kernel groups (§6.3).
+
+#include "src/core/spmd_group.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/workload/exact_counter.h"
+#include "src/workload/stream_generator.h"
+
+namespace asketch {
+namespace {
+
+ASketchConfig SmallConfig() {
+  ASketchConfig config;
+  config.total_bytes = 16 * 1024;
+  config.width = 4;
+  config.filter_items = 16;
+  config.seed = 9;
+  return config;
+}
+
+std::vector<Tuple> TestStream(double skew, uint64_t n = 100000) {
+  StreamSpec spec;
+  spec.stream_size = n;
+  spec.num_distinct = 2000;
+  spec.skew = skew;
+  spec.seed = 99;
+  return GenerateStream(spec);
+}
+
+TEST(SpmdGroupTest, SingleKernelMatchesSequentialASketch) {
+  const std::vector<Tuple> stream = TestStream(1.2);
+  SpmdAsketchGroup group(1, SmallConfig());
+  group.Process(stream);
+  auto sequential = MakeASketchCountMin<RelaxedHeapFilter>(SmallConfig());
+  for (const Tuple& t : stream) sequential.Update(t.key, t.value);
+  for (item_t key = 0; key < 2000; key += 7) {
+    EXPECT_EQ(group.Estimate(key), sequential.Estimate(key))
+        << "key " << key;
+  }
+}
+
+class SpmdKernelCountTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SpmdKernelCountTest, SumOfEstimatesNeverUnderestimates) {
+  const uint32_t kernels = GetParam();
+  const std::vector<Tuple> stream = TestStream(1.0);
+  ExactCounter truth(2000);
+  for (const Tuple& t : stream) truth.Update(t.key, t.value);
+  SpmdAsketchGroup group(kernels, SmallConfig());
+  group.Process(stream);
+  for (item_t key = 0; key < 2000; ++key) {
+    ASSERT_GE(group.Estimate(key), truth.Count(key))
+        << "key " << key << " kernels " << kernels;
+  }
+}
+
+TEST_P(SpmdKernelCountTest, CountMinGroupNeverUnderestimates) {
+  const uint32_t kernels = GetParam();
+  const std::vector<Tuple> stream = TestStream(0.8);
+  ExactCounter truth(2000);
+  for (const Tuple& t : stream) truth.Update(t.key, t.value);
+  SpmdCountMinGroup group(kernels,
+                          CountMinConfig::FromSpaceBudget(16 * 1024, 4));
+  group.Process(stream);
+  for (item_t key = 0; key < 2000; ++key) {
+    ASSERT_GE(group.Estimate(key), truth.Count(key)) << "key " << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KernelCounts, SpmdKernelCountTest,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(SpmdGroupTest, EstimatesAreReasonablyTight) {
+  // Sum of per-kernel over-estimates should stay close to the truth on a
+  // skewed stream (each kernel's filter catches its local hot keys).
+  const std::vector<Tuple> stream = TestStream(1.5, 200000);
+  ExactCounter truth(2000);
+  for (const Tuple& t : stream) truth.Update(t.key, t.value);
+  SpmdAsketchGroup group(4, SmallConfig());
+  group.Process(stream);
+  // The hottest key is exactly tracked by at least one kernel's filter.
+  item_t hottest = 0;
+  for (item_t key = 1; key < 2000; ++key) {
+    if (truth.Count(key) > truth.Count(hottest)) hottest = key;
+  }
+  const double est = static_cast<double>(group.Estimate(hottest));
+  const double t = static_cast<double>(truth.Count(hottest));
+  EXPECT_LE(est, t * 1.2 + 100);
+}
+
+TEST(SpmdGroupTest, RepeatedProcessCallsAccumulate) {
+  SpmdAsketchGroup group(2, SmallConfig());
+  const std::vector<Tuple> stream = {{1, 1}, {1, 1}, {2, 1}, {1, 1}};
+  group.Process(stream);
+  group.Process(stream);
+  EXPECT_GE(group.Estimate(1), 6u);
+  EXPECT_GE(group.Estimate(2), 2u);
+}
+
+TEST(SpmdGroupTest, EmptyStreamIsFine) {
+  SpmdAsketchGroup group(3, SmallConfig());
+  group.Process({});
+  EXPECT_EQ(group.Estimate(1), 0u);
+}
+
+TEST(SpmdGroupTest, MoreKernelsThanTuples) {
+  SpmdAsketchGroup group(8, SmallConfig());
+  const std::vector<Tuple> stream = {{5, 1}, {6, 1}};
+  group.Process(stream);
+  EXPECT_EQ(group.Estimate(5), 1u);
+  EXPECT_EQ(group.Estimate(6), 1u);
+}
+
+TEST(SpmdGroupTest, MemoryScalesWithKernelCount) {
+  SpmdAsketchGroup one(1, SmallConfig());
+  SpmdAsketchGroup four(4, SmallConfig());
+  EXPECT_EQ(four.MemoryUsageBytes(), 4 * one.MemoryUsageBytes());
+}
+
+}  // namespace
+}  // namespace asketch

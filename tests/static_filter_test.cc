@@ -1,0 +1,107 @@
+#include "src/filter/static_vector_filter.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/core/asketch.h"
+#include "src/filter/vector_filter.h"
+#include "src/workload/exact_counter.h"
+#include "src/workload/stream_generator.h"
+
+namespace asketch {
+namespace {
+
+TEST(StaticVectorFilterTest, BasicInsertFindEvict) {
+  StaticVectorFilter<16> filter;
+  filter.Insert(10, 5, 2);
+  filter.Insert(20, 3, 0);
+  EXPECT_EQ(filter.size(), 2u);
+  EXPECT_EQ(filter.capacity(), 16u);
+  const int32_t slot = filter.Find(10);
+  ASSERT_GE(slot, 0);
+  EXPECT_EQ(filter.NewCount(slot), 5u);
+  EXPECT_EQ(filter.MinNewCount(), 3u);
+  const FilterEntry evicted = filter.EvictMin();
+  EXPECT_EQ(evicted.key, 20u);
+  EXPECT_EQ(filter.size(), 1u);
+}
+
+TEST(StaticVectorFilterTest, RejectsMismatchedRuntimeCapacity) {
+  EXPECT_DEATH(StaticVectorFilter<16>(8), "capacity == kItems");
+}
+
+TEST(StaticVectorFilterTest, BehavesExactlyLikeDynamicVectorFilter) {
+  // Differential fuzz: the static filter must be operation-for-operation
+  // identical to VectorFilter (same slot layout, same evictions).
+  StaticVectorFilter<32> static_filter;
+  VectorFilter dynamic_filter(32);
+  Rng rng(99);
+  for (int step = 0; step < 20000; ++step) {
+    const item_t key = static_cast<item_t>(rng.NextBounded(128));
+    const int32_t a = static_filter.Find(key);
+    const int32_t b = dynamic_filter.Find(key);
+    ASSERT_EQ(a, b) << "step " << step;
+    if (a >= 0) {
+      const delta_t delta = 1 + static_cast<delta_t>(rng.NextBounded(7));
+      static_filter.AddToNewCount(a, delta);
+      dynamic_filter.AddToNewCount(b, delta);
+    } else if (!static_filter.Full()) {
+      const count_t c = 1 + static_cast<count_t>(rng.NextBounded(50));
+      static_filter.Insert(key, c, 0);
+      dynamic_filter.Insert(key, c, 0);
+    } else {
+      ASSERT_EQ(static_filter.MinNewCount(), dynamic_filter.MinNewCount());
+      if (rng.NextBounded(2) == 0) {
+        const FilterEntry sa = static_filter.EvictMin();
+        const FilterEntry da = dynamic_filter.EvictMin();
+        ASSERT_EQ(sa, da) << "step " << step;
+        static_filter.Insert(key, sa.new_count + 1, sa.new_count + 1);
+        dynamic_filter.Insert(key, da.new_count + 1, da.new_count + 1);
+      }
+    }
+    ASSERT_EQ(static_filter.size(), dynamic_filter.size());
+  }
+}
+
+TEST(StaticVectorFilterTest, ComposesWithASketch) {
+  using StaticASketch = ASketch<StaticVectorFilter<32>, CountMin>;
+  const CountMinConfig sketch_config =
+      CountMinConfig::FromSpaceBudget(16 * 1024, 4, 7);
+  StaticASketch as{StaticVectorFilter<32>(), CountMin(sketch_config)};
+  ExactCounter truth(2000);
+  StreamSpec spec;
+  spec.stream_size = 50000;
+  spec.num_distinct = 2000;
+  spec.skew = 1.3;
+  spec.seed = 17;
+  for (const Tuple& t : GenerateStream(spec)) {
+    as.Update(t.key, t.value);
+    truth.Update(t.key, t.value);
+  }
+  for (item_t key = 0; key < 2000; ++key) {
+    ASSERT_GE(as.Estimate(key), truth.Count(key)) << "key " << key;
+  }
+  EXPECT_EQ(as.Name(), "ASketch<StaticVector<32>,CountMin>");
+}
+
+TEST(StaticVectorFilterTest, MemoryIsInlineAndCompact) {
+  EXPECT_EQ(StaticVectorFilter<32>::BytesPerItem(), 12u);
+  EXPECT_EQ(StaticVectorFilter<32>().MemoryUsageBytes(), 384u);
+  // No heap allocations: the object itself holds the arrays.
+  EXPECT_GE(sizeof(StaticVectorFilter<32>), 3u * 32u * 4u);
+}
+
+TEST(StaticVectorFilterTest, ResetAndReuse) {
+  StaticVectorFilter<16> filter;
+  for (item_t key = 0; key < 16; ++key) filter.Insert(key, key + 1, 0);
+  EXPECT_TRUE(filter.Full());
+  filter.Reset();
+  EXPECT_EQ(filter.size(), 0u);
+  filter.Insert(5, 9, 0);
+  EXPECT_EQ(filter.MinNewCount(), 9u);
+}
+
+}  // namespace
+}  // namespace asketch

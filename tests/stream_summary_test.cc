@@ -1,0 +1,172 @@
+#include "src/common/stream_summary.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace asketch {
+namespace {
+
+TEST(StreamSummaryTest, InsertAndFind) {
+  StreamSummary summary(4);
+  const uint32_t n = summary.Insert(10, 5, 99);
+  EXPECT_EQ(summary.Find(10), n);
+  EXPECT_EQ(summary.Key(n), 10u);
+  EXPECT_EQ(summary.Count(n), 5u);
+  EXPECT_EQ(summary.Aux(n), 99u);
+  EXPECT_EQ(summary.Find(11), kSummaryNil);
+  EXPECT_TRUE(summary.CheckInvariants());
+}
+
+TEST(StreamSummaryTest, MinTracksSmallestCount) {
+  StreamSummary summary(8);
+  summary.Insert(1, 50, 0);
+  summary.Insert(2, 10, 0);
+  summary.Insert(3, 30, 0);
+  EXPECT_EQ(summary.MinCount(), 10u);
+  EXPECT_EQ(summary.Key(summary.MinNode()), 2u);
+  summary.MoveToCount(summary.Find(2), 60);
+  EXPECT_EQ(summary.MinCount(), 30u);
+  EXPECT_EQ(summary.Key(summary.MinNode()), 3u);
+  EXPECT_TRUE(summary.CheckInvariants());
+}
+
+TEST(StreamSummaryTest, MoveDownward) {
+  StreamSummary summary(4);
+  summary.Insert(1, 100, 0);
+  summary.Insert(2, 200, 0);
+  summary.MoveToCount(summary.Find(2), 50);
+  EXPECT_EQ(summary.MinCount(), 50u);
+  EXPECT_EQ(summary.Key(summary.MinNode()), 2u);
+  EXPECT_TRUE(summary.CheckInvariants());
+}
+
+TEST(StreamSummaryTest, TiedCountsShareABucket) {
+  StreamSummary summary(4);
+  summary.Insert(1, 7, 0);
+  summary.Insert(2, 7, 0);
+  summary.Insert(3, 7, 0);
+  EXPECT_EQ(summary.MinCount(), 7u);
+  int visited = 0;
+  summary.ForEach([&](item_t, count_t count, count_t) {
+    EXPECT_EQ(count, 7u);
+    ++visited;
+  });
+  EXPECT_EQ(visited, 3);
+  EXPECT_TRUE(summary.CheckInvariants());
+}
+
+TEST(StreamSummaryTest, RemoveMakesRoom) {
+  StreamSummary summary(2);
+  summary.Insert(1, 5, 0);
+  summary.Insert(2, 6, 0);
+  EXPECT_TRUE(summary.Full());
+  summary.Remove(summary.Find(1));
+  EXPECT_FALSE(summary.Full());
+  EXPECT_EQ(summary.Find(1), kSummaryNil);
+  EXPECT_EQ(summary.size(), 1u);
+  summary.Insert(3, 1, 0);
+  EXPECT_EQ(summary.MinCount(), 1u);
+  EXPECT_TRUE(summary.CheckInvariants());
+}
+
+TEST(StreamSummaryTest, ResetClearsEverything) {
+  StreamSummary summary(4);
+  summary.Insert(1, 5, 0);
+  summary.Insert(2, 6, 0);
+  summary.Reset();
+  EXPECT_EQ(summary.size(), 0u);
+  EXPECT_EQ(summary.Find(1), kSummaryNil);
+  EXPECT_EQ(summary.MinNode(), kSummaryNil);
+  EXPECT_EQ(summary.MinCount(), 0u);
+  summary.Insert(3, 1, 2);
+  EXPECT_EQ(summary.size(), 1u);
+  EXPECT_TRUE(summary.CheckInvariants());
+}
+
+TEST(StreamSummaryTest, CapacityOne) {
+  StreamSummary summary(1);
+  summary.Insert(42, 3, 0);
+  EXPECT_TRUE(summary.Full());
+  EXPECT_EQ(summary.MinCount(), 3u);
+  summary.MoveToCount(summary.Find(42), 10);
+  EXPECT_EQ(summary.MinCount(), 10u);
+  summary.Remove(summary.Find(42));
+  EXPECT_EQ(summary.size(), 0u);
+  EXPECT_TRUE(summary.CheckInvariants());
+}
+
+// Reference-model fuzz: random inserts / moves / removes mirrored in a
+// std::map, with full invariant checks along the way. This exercises the
+// bucket splicing and the backward-shift hash deletion under heavy churn.
+class StreamSummaryFuzzTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(StreamSummaryFuzzTest, MatchesReferenceModel) {
+  const uint32_t capacity = GetParam();
+  StreamSummary summary(capacity);
+  std::map<item_t, std::pair<count_t, count_t>> model;  // key -> count,aux
+  Rng rng(capacity * 31 + 7);
+  for (int step = 0; step < 3000; ++step) {
+    const int op = static_cast<int>(rng.NextBounded(100));
+    const item_t key = static_cast<item_t>(rng.NextBounded(capacity * 3));
+    if (op < 50) {  // upsert / move
+      const auto it = model.find(key);
+      if (it != model.end()) {
+        const count_t new_count =
+            static_cast<count_t>(rng.NextBounded(1000));
+        summary.MoveToCount(summary.Find(key), new_count);
+        it->second.first = new_count;
+      } else if (model.size() < capacity) {
+        const count_t count = static_cast<count_t>(rng.NextBounded(1000));
+        const count_t aux = static_cast<count_t>(rng.NextBounded(50));
+        summary.Insert(key, count, aux);
+        model[key] = {count, aux};
+      }
+    } else if (op < 75) {  // remove (if present)
+      const auto it = model.find(key);
+      if (it != model.end()) {
+        summary.Remove(summary.Find(key));
+        model.erase(it);
+      }
+    } else if (op < 90) {  // evict min
+      if (!model.empty()) {
+        const uint32_t min_node = summary.MinNode();
+        ASSERT_NE(min_node, kSummaryNil);
+        const count_t min_count = summary.Count(min_node);
+        // The structure's min must equal the model's min count.
+        count_t model_min = ~count_t{0};
+        for (const auto& [k, v] : model) {
+          model_min = std::min(model_min, v.first);
+        }
+        EXPECT_EQ(min_count, model_min);
+        model.erase(summary.Key(min_node));
+        summary.Remove(min_node);
+      }
+    } else {  // point lookups
+      const auto it = model.find(key);
+      const uint32_t node = summary.Find(key);
+      if (it == model.end()) {
+        EXPECT_EQ(node, kSummaryNil);
+      } else {
+        ASSERT_NE(node, kSummaryNil);
+        EXPECT_EQ(summary.Count(node), it->second.first);
+        EXPECT_EQ(summary.Aux(node), it->second.second);
+      }
+    }
+    if (step % 100 == 0) {
+      ASSERT_TRUE(summary.CheckInvariants()) << "step " << step;
+      ASSERT_EQ(summary.size(), model.size());
+    }
+  }
+  EXPECT_TRUE(summary.CheckInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, StreamSummaryFuzzTest,
+                         ::testing::Values(1, 2, 3, 8, 32, 128));
+
+}  // namespace
+}  // namespace asketch

@@ -1,0 +1,100 @@
+#include "src/sketch/topk_sketch.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/workload/exact_counter.h"
+#include "src/workload/metrics.h"
+#include "src/workload/stream_generator.h"
+
+namespace asketch {
+namespace {
+
+TEST(TopKCountMinTest, TracksExactCountsOnTinyStreams) {
+  TopKCountMin topk(4, CountMinConfig::FromSpaceBudget(16 * 1024, 4, 9));
+  topk.Update(1, 10);
+  topk.Update(2, 20);
+  topk.Update(3, 5);
+  const auto report = topk.TopK();
+  ASSERT_EQ(report.size(), 3u);
+  EXPECT_EQ(report[0].key, 2u);
+  EXPECT_EQ(report[0].estimate, 20u);
+  EXPECT_EQ(report[1].key, 1u);
+  EXPECT_EQ(report[2].key, 3u);
+}
+
+TEST(TopKCountMinTest, EvictsWeakestCandidate) {
+  TopKCountMin topk(2, CountMinConfig::FromSpaceBudget(16 * 1024, 4, 9));
+  topk.Update(1, 10);
+  topk.Update(2, 20);
+  topk.Update(3, 30);  // evicts 1
+  const auto report = topk.TopK();
+  ASSERT_EQ(report.size(), 2u);
+  EXPECT_EQ(report[0].key, 3u);
+  EXPECT_EQ(report[1].key, 2u);
+}
+
+TEST(TopKCountMinTest, WeakArrivalDoesNotEvict) {
+  TopKCountMin topk(2, CountMinConfig::FromSpaceBudget(16 * 1024, 4, 9));
+  topk.Update(1, 10);
+  topk.Update(2, 20);
+  topk.Update(3, 1);
+  const auto report = topk.TopK();
+  ASSERT_EQ(report.size(), 2u);
+  EXPECT_EQ(report[0].key, 2u);
+  EXPECT_EQ(report[1].key, 1u);
+}
+
+TEST(TopKCountMinTest, HighPrecisionOnSkewedStreams) {
+  const uint32_t k = 32;
+  TopKCountMin topk =
+      TopKCountMin::FromSpaceBudget(128 * 1024, 8, k, 42);
+  StreamSpec spec;
+  spec.stream_size = 400000;
+  spec.num_distinct = 100000;
+  spec.skew = 1.5;
+  spec.seed = 7;
+  ExactCounter truth(spec.num_distinct);
+  for (const Tuple& t : GenerateStream(spec)) {
+    topk.Update(t.key, t.value);
+    truth.Update(t.key, t.value);
+  }
+  std::vector<item_t> reported;
+  for (const TopKEntry& e : topk.TopK()) reported.push_back(e.key);
+  EXPECT_GE(PrecisionAtK(reported, truth, k), 0.85);
+}
+
+TEST(TopKCountMinTest, ReportedEstimatesAreOneSided) {
+  TopKCountMin topk(16, CountMinConfig::FromSpaceBudget(8 * 1024, 4, 3));
+  StreamSpec spec;
+  spec.stream_size = 50000;
+  spec.num_distinct = 2000;
+  spec.skew = 1.2;
+  spec.seed = 9;
+  ExactCounter truth(spec.num_distinct);
+  for (const Tuple& t : GenerateStream(spec)) {
+    topk.Update(t.key, t.value);
+    truth.Update(t.key, t.value);
+  }
+  for (const TopKEntry& e : topk.TopK()) {
+    EXPECT_GE(e.estimate, truth.Count(e.key)) << "key " << e.key;
+  }
+}
+
+TEST(TopKCountMinTest, SpaceBudgetIsRespected) {
+  TopKCountMin topk = TopKCountMin::FromSpaceBudget(64 * 1024, 8, 32, 1);
+  EXPECT_LE(topk.MemoryUsageBytes(), 64u * 1024u);
+  EXPECT_GT(topk.MemoryUsageBytes(), 62u * 1024u);
+}
+
+TEST(TopKCountMinTest, ResetClearsCandidatesAndSketch) {
+  TopKCountMin topk(4, CountMinConfig::FromSpaceBudget(8 * 1024, 4, 9));
+  topk.Update(1, 10);
+  topk.Reset();
+  EXPECT_TRUE(topk.TopK().empty());
+  EXPECT_EQ(topk.Estimate(1), 0u);
+}
+
+}  // namespace
+}  // namespace asketch

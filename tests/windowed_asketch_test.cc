@@ -1,0 +1,137 @@
+#include "src/core/windowed_asketch.h"
+
+#include <deque>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/workload/stream_generator.h"
+
+namespace asketch {
+namespace {
+
+ASketchConfig SmallConfig() {
+  ASketchConfig config;
+  config.total_bytes = 16 * 1024;
+  config.width = 4;
+  config.filter_items = 16;
+  config.seed = 5;
+  return config;
+}
+
+TEST(WindowedASketchTest, CountsWithinOneWindowAreComplete) {
+  WindowedASketch window(1000, SmallConfig());
+  for (int i = 0; i < 100; ++i) window.Update(7);
+  EXPECT_GE(window.Estimate(7), 100u);
+  EXPECT_EQ(window.rotations(), 0u);
+}
+
+TEST(WindowedASketchTest, RotationHappensAtWindowBoundary) {
+  WindowedASketch window(100, SmallConfig());
+  for (int i = 0; i < 99; ++i) window.Update(1);
+  EXPECT_EQ(window.rotations(), 0u);
+  EXPECT_EQ(window.current_epoch_fill(), 99u);
+  window.Update(1);
+  EXPECT_EQ(window.rotations(), 1u);
+  EXPECT_EQ(window.current_epoch_fill(), 0u);
+  // The counts moved to the previous epoch but remain visible.
+  EXPECT_GE(window.Estimate(1), 100u);
+}
+
+TEST(WindowedASketchTest, OldEpochsExpire) {
+  WindowedASketch window(100, SmallConfig());
+  for (int i = 0; i < 100; ++i) window.Update(1);  // epoch A (rotates)
+  for (int i = 0; i < 50; ++i) window.Update(2);   // epoch B filling
+  // Key 1's epoch is "previous": still fully visible.
+  EXPECT_GE(window.Estimate(1), 100u);
+  for (int i = 0; i < 50; ++i) window.Update(2);   // epoch B rotates
+  // Key 1 is now two windows old: expired (hash noise from the fresh
+  // sketch may leave a residue, never the full count).
+  EXPECT_LT(window.Estimate(1), 50u);
+  EXPECT_GE(window.Estimate(2), 100u);
+  for (int i = 0; i < 50; ++i) window.Update(3);   // epoch C filling
+  EXPECT_GE(window.Estimate(2), 100u);  // previous epoch still covered
+  EXPECT_GE(window.Estimate(3), 50u);
+}
+
+TEST(WindowedASketchTest, NeverUndercountsWithinTheCoveredSpan) {
+  // Reference model: exact counts of the last (current + previous) epoch.
+  const uint64_t kWindow = 500;
+  WindowedASketch window(kWindow, SmallConfig());
+  std::deque<item_t> recent;  // the keys of the covered span, in order
+  uint64_t current_fill = 0;
+  Rng rng(31);
+  for (int i = 0; i < 20000; ++i) {
+    const item_t key = static_cast<item_t>(rng.NextBounded(100));
+    window.Update(key);
+    recent.push_back(key);
+    ++current_fill;
+    if (current_fill == kWindow) {
+      current_fill = 0;
+      while (recent.size() > 2 * kWindow) recent.pop_front();
+    }
+    if (recent.size() > 2 * kWindow) recent.pop_front();
+    if (i % 997 == 0) {
+      // Exact count over the span the window must cover (previous full
+      // epoch + current partial epoch).
+      const size_t covered = kWindow + current_fill;
+      uint64_t exact = 0;
+      for (size_t j = recent.size() > covered ? recent.size() - covered
+                                              : 0;
+           j < recent.size(); ++j) {
+        if (recent[j] == key) ++exact;
+      }
+      ASSERT_GE(window.Estimate(key), exact) << "step " << i;
+    }
+  }
+}
+
+TEST(WindowedASketchTest, TopKConsistentWithEstimates) {
+  WindowedASketch window(1000, SmallConfig());
+  StreamSpec spec;
+  spec.stream_size = 5000;
+  spec.num_distinct = 200;
+  spec.skew = 1.4;
+  spec.seed = 3;
+  for (const Tuple& t : GenerateStream(spec)) window.Update(t.key);
+  const auto top = window.TopK();
+  ASSERT_FALSE(top.empty());
+  for (size_t i = 0; i < top.size(); ++i) {
+    EXPECT_EQ(top[i].new_count, window.Estimate(top[i].key));
+    if (i > 0) {
+      EXPECT_GE(top[i - 1].new_count, top[i].new_count);
+    }
+  }
+}
+
+TEST(WindowedASketchTest, WeightedUpdatesCountTowardRotation) {
+  WindowedASketch window(100, SmallConfig());
+  window.Update(1, 60);
+  EXPECT_EQ(window.rotations(), 0u);
+  window.Update(2, 60);  // fill reaches 120 >= 100
+  EXPECT_EQ(window.rotations(), 1u);
+}
+
+TEST(WindowedASketchTest, ResetClearsAllEpochs) {
+  WindowedASketch window(100, SmallConfig());
+  for (int i = 0; i < 250; ++i) window.Update(1);
+  window.Reset();
+  EXPECT_EQ(window.Estimate(1), 0u);
+  EXPECT_EQ(window.rotations(), 0u);
+  EXPECT_EQ(window.current_epoch_fill(), 0u);
+}
+
+TEST(WindowedASketchTest, MemoryIsTwoEpochs) {
+  WindowedASketch window(100, SmallConfig());
+  EXPECT_LE(window.MemoryUsageBytes(), 2u * 16u * 1024u);
+  EXPECT_GT(window.MemoryUsageBytes(), 16u * 1024u);
+}
+
+TEST(WindowedASketchTest, RejectsNonPositiveWeights) {
+  WindowedASketch window(100, SmallConfig());
+  EXPECT_DEATH(window.Update(1, 0), "weight");
+}
+
+}  // namespace
+}  // namespace asketch

@@ -1,0 +1,131 @@
+#include "src/workload/zipf.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace asketch {
+namespace {
+
+TEST(ZipfTest, SamplesStayInDomain) {
+  for (const double skew : {0.0, 0.5, 1.0, 1.5, 3.0}) {
+    ZipfDistribution zipf(100, skew);
+    Rng rng(1);
+    for (int i = 0; i < 10000; ++i) {
+      const uint64_t r = zipf.Sample(rng);
+      ASSERT_GE(r, 1u);
+      ASSERT_LE(r, 100u);
+    }
+  }
+}
+
+TEST(ZipfTest, SkewZeroIsUniform) {
+  ZipfDistribution zipf(10, 0.0);
+  Rng rng(2);
+  std::vector<int> histogram(10, 0);
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++histogram[zipf.Sample(rng) - 1];
+  }
+  for (const int count : histogram) {
+    EXPECT_NEAR(count, kSamples / 10, kSamples / 100);
+  }
+}
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  ZipfDistribution zipf(1000, 1.5);
+  double sum = 0;
+  for (uint64_t r = 1; r <= 1000; ++r) sum += zipf.Probability(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, ProbabilityIsMonotoneDecreasing) {
+  ZipfDistribution zipf(100, 0.8);
+  for (uint64_t r = 2; r <= 100; ++r) {
+    EXPECT_LT(zipf.Probability(r), zipf.Probability(r - 1));
+  }
+}
+
+class ZipfEmpiricalTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfEmpiricalTest, EmpiricalFrequenciesMatchTheory) {
+  const double skew = GetParam();
+  constexpr uint64_t kDomain = 50;
+  constexpr int kSamples = 200000;
+  ZipfDistribution zipf(kDomain, skew);
+  Rng rng(static_cast<uint64_t>(skew * 1000) + 3);
+  std::vector<int> histogram(kDomain, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++histogram[zipf.Sample(rng) - 1];
+  }
+  for (uint64_t r = 1; r <= kDomain; ++r) {
+    const double expected = zipf.Probability(r) * kSamples;
+    if (expected < 50) continue;  // too few samples for a tight check
+    EXPECT_NEAR(histogram[r - 1], expected,
+                5 * std::sqrt(expected) + 0.01 * expected)
+        << "rank " << r << " skew " << skew;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfEmpiricalTest,
+                         ::testing::Values(0.2, 0.5, 0.8, 1.0, 1.2, 1.5,
+                                           2.0, 2.5, 3.0));
+
+TEST(ZipfTest, TopKMassMatchesPaperFigure3Anchor) {
+  // §4: "For a skew of 1.5, the top-32 data items account for 80% of all
+  // frequency counts" on an 8M-item domain. Verify the analytic mass.
+  ZipfDistribution zipf(1u << 20, 1.5);  // 1M domain: same head behaviour
+  const double mass = zipf.TopKMass(32);
+  EXPECT_GT(mass, 0.75);
+  EXPECT_LT(mass, 0.90);
+}
+
+TEST(ZipfTest, TopKMassIsMonotoneInK) {
+  ZipfDistribution zipf(10000, 1.2);
+  double previous = 0;
+  for (const uint64_t k : {1ull, 8ull, 32ull, 128ull, 1024ull, 10000ull}) {
+    const double mass = zipf.TopKMass(k);
+    EXPECT_GT(mass, previous);
+    previous = mass;
+  }
+  EXPECT_DOUBLE_EQ(zipf.TopKMass(10000), 1.0);
+}
+
+TEST(ZipfTest, HigherSkewConcentratesMass) {
+  double previous = 0;
+  for (const double skew : {0.0, 0.5, 1.0, 1.5, 2.0}) {
+    ZipfDistribution zipf(100000, skew);
+    const double mass = zipf.TopKMass(32);
+    EXPECT_GT(mass, previous) << "skew " << skew;
+    previous = mass;
+  }
+}
+
+TEST(ZipfTest, DomainOfOneAlwaysSamplesOne) {
+  ZipfDistribution zipf(1, 1.5);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(zipf.Sample(rng), 1u);
+  }
+}
+
+TEST(ZipfTest, SkewNearOneIsNumericallyStable) {
+  // The H integral has a removable singularity at skew 1.
+  for (const double skew : {0.999, 1.0, 1.001}) {
+    ZipfDistribution zipf(1000, skew);
+    Rng rng(5);
+    double mean = 0;
+    for (int i = 0; i < 10000; ++i) {
+      mean += static_cast<double>(zipf.Sample(rng));
+    }
+    mean /= 10000;
+    EXPECT_GT(mean, 1.0);
+    EXPECT_LT(mean, 1000.0);
+  }
+}
+
+}  // namespace
+}  // namespace asketch

@@ -1,0 +1,214 @@
+// asketch_cli: build, persist, and query ASketch synopses from the
+// command line.
+//
+//   asketch_cli build <stream.ask> <synopsis.as> [--bytes N] [--width W]
+//                     [--filter F]
+//       Consume a binary stream file (see make_stream) into an ASketch
+//       and serialize the synopsis.
+//
+//   asketch_cli query <synopsis.as> <key> [key...]
+//       Print frequency estimates for the given keys.
+//
+//   asketch_cli topk <synopsis.as>
+//       Print the filter's heavy-hitter report.
+//
+//   asketch_cli stats <synopsis.as>
+//       Print size, selectivity, and exchange statistics.
+//
+//   asketch_cli merge <a.as> <b.as> <out.as>
+//       Merge two synopses built with identical parameters.
+//
+// The synopsis on disk is the library's binary serialization of
+// ASketch<RelaxedHeapFilter, CountMin>.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/serialize.h"
+#include "src/core/asketch.h"
+#include "src/workload/dataset_io.h"
+
+namespace {
+
+using namespace asketch;
+using CliSketch = ASketch<RelaxedHeapFilter, CountMin>;
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  asketch_cli build <stream.ask> <synopsis.as> "
+               "[--bytes N] [--width W] [--filter F] [--seed S]\n"
+               "  asketch_cli query <synopsis.as> <key> [key...]\n"
+               "  asketch_cli topk  <synopsis.as>\n"
+               "  asketch_cli stats <synopsis.as>\n"
+               "  asketch_cli merge <a.as> <b.as> <out.as>\n");
+}
+
+std::optional<CliSketch> LoadSynopsis(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  BinaryReader reader(f);
+  auto sketch = CliSketch::DeserializeFrom(reader);
+  std::fclose(f);
+  if (!sketch.has_value()) {
+    std::fprintf(stderr, "%s is not a valid ASketch synopsis\n",
+                 path.c_str());
+  }
+  return sketch;
+}
+
+bool SaveSynopsis(const CliSketch& sketch, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  BinaryWriter writer(f);
+  const bool ok = sketch.SerializeTo(writer);
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "write failed: %s\n", path.c_str());
+  return ok;
+}
+
+int CmdBuild(int argc, char** argv) {
+  if (argc < 4) {
+    Usage();
+    return 2;
+  }
+  const std::string stream_path = argv[2];
+  const std::string out_path = argv[3];
+  ASketchConfig config;
+  config.total_bytes = 128 * 1024;
+  config.width = 8;
+  config.filter_items = 32;
+  for (int i = 4; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const char* value = argv[i + 1];
+    if (flag == "--bytes") {
+      config.total_bytes = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--width") {
+      config.width = static_cast<uint32_t>(std::atoi(value));
+    } else if (flag == "--filter") {
+      config.filter_items = static_cast<uint32_t>(std::atoi(value));
+    } else if (flag == "--seed") {
+      config.seed = std::strtoull(value, nullptr, 10);
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  if (const auto error = config.Validate()) {
+    std::fprintf(stderr, "invalid config: %s\n", error->c_str());
+    return 2;
+  }
+  std::vector<Tuple> stream;
+  if (const auto error = ReadStreamFile(stream_path, &stream)) {
+    std::fprintf(stderr, "read failed: %s\n", error->c_str());
+    return 1;
+  }
+  CliSketch sketch = MakeASketchCountMin<RelaxedHeapFilter>(config);
+  for (const Tuple& t : stream) sketch.Update(t.key, t.value);
+  if (!SaveSynopsis(sketch, out_path)) return 1;
+  std::fprintf(stderr,
+               "built %zu-byte synopsis from %zu tuples "
+               "(selectivity %.3f, %llu exchanges)\n",
+               sketch.MemoryUsageBytes(), stream.size(),
+               sketch.stats().FilterSelectivity(),
+               static_cast<unsigned long long>(sketch.stats().exchanges));
+  return 0;
+}
+
+int CmdQuery(int argc, char** argv) {
+  if (argc < 4) {
+    Usage();
+    return 2;
+  }
+  auto sketch = LoadSynopsis(argv[2]);
+  if (!sketch.has_value()) return 1;
+  for (int i = 3; i < argc; ++i) {
+    const item_t key =
+        static_cast<item_t>(std::strtoul(argv[i], nullptr, 10));
+    std::printf("%u\t%u\n", key, sketch->Estimate(key));
+  }
+  return 0;
+}
+
+int CmdTopK(int argc, char** argv) {
+  if (argc != 3) {
+    Usage();
+    return 2;
+  }
+  auto sketch = LoadSynopsis(argv[2]);
+  if (!sketch.has_value()) return 1;
+  std::printf("%-12s %-12s %-12s\n", "key", "estimate", "exact_hits");
+  for (const FilterEntry& e : sketch->TopK()) {
+    std::printf("%-12u %-12u %-12u\n", e.key, e.new_count,
+                e.new_count - e.old_count);
+  }
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  if (argc != 3) {
+    Usage();
+    return 2;
+  }
+  auto sketch = LoadSynopsis(argv[2]);
+  if (!sketch.has_value()) return 1;
+  const ASketchStats& stats = sketch->stats();
+  std::printf("synopsis            %s\n", sketch->Name().c_str());
+  std::printf("memory bytes        %zu\n", sketch->MemoryUsageBytes());
+  std::printf("sketch rows (w)     %u\n", sketch->sketch().width());
+  std::printf("sketch depth (h')   %u\n", sketch->sketch().depth());
+  std::printf("filter capacity     %u\n", sketch->filter().capacity());
+  std::printf("filter occupancy    %u\n", sketch->filter().size());
+  std::printf("filtered weight     %llu\n",
+              static_cast<unsigned long long>(stats.filtered_weight));
+  std::printf("sketch weight       %llu\n",
+              static_cast<unsigned long long>(stats.sketch_weight));
+  std::printf("filter selectivity  %.4f\n", stats.FilterSelectivity());
+  std::printf("exchanges           %llu\n",
+              static_cast<unsigned long long>(stats.exchanges));
+  return 0;
+}
+
+int CmdMerge(int argc, char** argv) {
+  if (argc != 5) {
+    Usage();
+    return 2;
+  }
+  auto a = LoadSynopsis(argv[2]);
+  auto b = LoadSynopsis(argv[3]);
+  if (!a.has_value() || !b.has_value()) return 1;
+  if (const auto error = a->MergeFrom(*b)) {
+    std::fprintf(stderr, "merge failed: %s\n", error->c_str());
+    return 1;
+  }
+  if (!SaveSynopsis(*a, argv[4])) return 1;
+  std::fprintf(stderr, "merged synopsis written to %s\n", argv[4]);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  if (command == "build") return CmdBuild(argc, argv);
+  if (command == "query") return CmdQuery(argc, argv);
+  if (command == "topk") return CmdTopK(argc, argv);
+  if (command == "stats") return CmdStats(argc, argv);
+  if (command == "merge") return CmdMerge(argc, argv);
+  Usage();
+  return 2;
+}

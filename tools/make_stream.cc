@@ -1,0 +1,86 @@
+// make_stream: generate a binary tuple stream file for asketch_cli.
+//
+//   make_stream <out.ask> [--n TUPLES] [--m DISTINCT] [--skew Z]
+//               [--seed S] [--trace ip|kosarak] [--scale X]
+//
+// Either a raw Zipf spec (--n/--m/--skew) or one of the simulated
+// real-world trace shapes (--trace, optionally scaled with --scale).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/workload/dataset_io.h"
+#include "src/workload/stream_generator.h"
+#include "src/workload/trace_simulators.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: make_stream <out.ask> [--n TUPLES] [--m DISTINCT]\n"
+      "                   [--skew Z] [--seed S]\n"
+      "                   [--trace ip|kosarak] [--scale X]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace asketch;
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string out_path = argv[1];
+  StreamSpec spec;
+  spec.stream_size = 1'000'000;
+  spec.num_distinct = 100'000;
+  spec.skew = 1.5;
+  spec.seed = 7;
+  std::string trace;
+  double trace_scale = 0.01;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const char* value = argv[i + 1];
+    if (flag == "--n") {
+      spec.stream_size = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--m") {
+      spec.num_distinct =
+          static_cast<uint32_t>(std::strtoull(value, nullptr, 10));
+    } else if (flag == "--skew") {
+      spec.skew = std::atof(value);
+    } else if (flag == "--seed") {
+      spec.seed = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--trace") {
+      trace = value;
+    } else if (flag == "--scale") {
+      trace_scale = std::atof(value);
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  if (trace == "ip") {
+    spec = IpTraceLikeSpec(trace_scale, spec.seed);
+  } else if (trace == "kosarak") {
+    spec = KosarakLikeSpec(trace_scale, spec.seed);
+  } else if (!trace.empty()) {
+    std::fprintf(stderr, "unknown trace '%s'\n", trace.c_str());
+    return 2;
+  }
+  if (const auto error = spec.Validate()) {
+    std::fprintf(stderr, "invalid spec: %s\n", error->c_str());
+    return 2;
+  }
+  std::fprintf(stderr, "generating %s ...\n", spec.ToString().c_str());
+  const std::vector<Tuple> stream = GenerateStream(spec);
+  if (const auto error = WriteStreamFile(out_path, stream)) {
+    std::fprintf(stderr, "write failed: %s\n", error->c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %zu tuples to %s\n", stream.size(),
+               out_path.c_str());
+  return 0;
+}
