@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_exchange.dir/bench_ablation_exchange.cc.o"
+  "CMakeFiles/bench_ablation_exchange.dir/bench_ablation_exchange.cc.o.d"
+  "bench_ablation_exchange"
+  "bench_ablation_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix.dir/bench_appendix.cc.o"
+  "CMakeFiles/bench_appendix.dir/bench_appendix.cc.o.d"
+  "bench_appendix"
+  "bench_appendix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

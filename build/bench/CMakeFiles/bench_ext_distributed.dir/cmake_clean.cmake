@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_distributed.dir/bench_ext_distributed.cc.o"
+  "CMakeFiles/bench_ext_distributed.dir/bench_ext_distributed.cc.o.d"
+  "bench_ext_distributed"
+  "bench_ext_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

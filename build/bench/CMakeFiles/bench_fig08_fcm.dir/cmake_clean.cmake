@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_fcm.dir/bench_fig08_fcm.cc.o"
+  "CMakeFiles/bench_fig08_fcm.dir/bench_fig08_fcm.cc.o.d"
+  "bench_fig08_fcm"
+  "bench_fig08_fcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_fcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

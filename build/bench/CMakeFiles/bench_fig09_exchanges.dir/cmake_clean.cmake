@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_exchanges.dir/bench_fig09_exchanges.cc.o"
+  "CMakeFiles/bench_fig09_exchanges.dir/bench_fig09_exchanges.cc.o.d"
+  "bench_fig09_exchanges"
+  "bench_fig09_exchanges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_exchanges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

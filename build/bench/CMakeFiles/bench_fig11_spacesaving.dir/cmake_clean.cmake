@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_spacesaving.dir/bench_fig11_spacesaving.cc.o"
+  "CMakeFiles/bench_fig11_spacesaving.dir/bench_fig11_spacesaving.cc.o.d"
+  "bench_fig11_spacesaving"
+  "bench_fig11_spacesaving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_spacesaving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_spmd.dir/bench_fig13_spmd.cc.o"
+  "CMakeFiles/bench_fig13_spmd.dir/bench_fig13_spmd.cc.o.d"
+  "bench_fig13_spmd"
+  "bench_fig13_spmd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_spmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_filters.dir/bench_fig14_filters.cc.o"
+  "CMakeFiles/bench_fig14_filters.dir/bench_fig14_filters.cc.o.d"
+  "bench_fig14_filters"
+  "bench_fig14_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_misclassification.dir/bench_table3_misclassification.cc.o"
+  "CMakeFiles/bench_table3_misclassification.dir/bench_table3_misclassification.cc.o.d"
+  "bench_table3_misclassification"
+  "bench_table3_misclassification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_misclassification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlp_pmi.dir/nlp_pmi.cc.o"
+  "CMakeFiles/nlp_pmi.dir/nlp_pmi.cc.o.d"
+  "nlp_pmi"
+  "nlp_pmi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlp_pmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nlp_pmi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/hashing.cc" "src/CMakeFiles/asketch.dir/common/hashing.cc.o" "gcc" "src/CMakeFiles/asketch.dir/common/hashing.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/asketch.dir/common/random.cc.o" "gcc" "src/CMakeFiles/asketch.dir/common/random.cc.o.d"
+  "/root/repo/src/common/stream_summary.cc" "src/CMakeFiles/asketch.dir/common/stream_summary.cc.o" "gcc" "src/CMakeFiles/asketch.dir/common/stream_summary.cc.o.d"
+  "/root/repo/src/core/asketch.cc" "src/CMakeFiles/asketch.dir/core/asketch.cc.o" "gcc" "src/CMakeFiles/asketch.dir/core/asketch.cc.o.d"
+  "/root/repo/src/core/pipeline_asketch.cc" "src/CMakeFiles/asketch.dir/core/pipeline_asketch.cc.o" "gcc" "src/CMakeFiles/asketch.dir/core/pipeline_asketch.cc.o.d"
+  "/root/repo/src/core/spmd_group.cc" "src/CMakeFiles/asketch.dir/core/spmd_group.cc.o" "gcc" "src/CMakeFiles/asketch.dir/core/spmd_group.cc.o.d"
+  "/root/repo/src/filter/relaxed_heap_filter.cc" "src/CMakeFiles/asketch.dir/filter/relaxed_heap_filter.cc.o" "gcc" "src/CMakeFiles/asketch.dir/filter/relaxed_heap_filter.cc.o.d"
+  "/root/repo/src/filter/strict_heap_filter.cc" "src/CMakeFiles/asketch.dir/filter/strict_heap_filter.cc.o" "gcc" "src/CMakeFiles/asketch.dir/filter/strict_heap_filter.cc.o.d"
+  "/root/repo/src/filter/vector_filter.cc" "src/CMakeFiles/asketch.dir/filter/vector_filter.cc.o" "gcc" "src/CMakeFiles/asketch.dir/filter/vector_filter.cc.o.d"
+  "/root/repo/src/sketch/count_min.cc" "src/CMakeFiles/asketch.dir/sketch/count_min.cc.o" "gcc" "src/CMakeFiles/asketch.dir/sketch/count_min.cc.o.d"
+  "/root/repo/src/sketch/count_sketch.cc" "src/CMakeFiles/asketch.dir/sketch/count_sketch.cc.o" "gcc" "src/CMakeFiles/asketch.dir/sketch/count_sketch.cc.o.d"
+  "/root/repo/src/sketch/dyadic_count_min.cc" "src/CMakeFiles/asketch.dir/sketch/dyadic_count_min.cc.o" "gcc" "src/CMakeFiles/asketch.dir/sketch/dyadic_count_min.cc.o.d"
+  "/root/repo/src/sketch/fcm.cc" "src/CMakeFiles/asketch.dir/sketch/fcm.cc.o" "gcc" "src/CMakeFiles/asketch.dir/sketch/fcm.cc.o.d"
+  "/root/repo/src/sketch/holistic_udaf.cc" "src/CMakeFiles/asketch.dir/sketch/holistic_udaf.cc.o" "gcc" "src/CMakeFiles/asketch.dir/sketch/holistic_udaf.cc.o.d"
+  "/root/repo/src/sketch/misra_gries.cc" "src/CMakeFiles/asketch.dir/sketch/misra_gries.cc.o" "gcc" "src/CMakeFiles/asketch.dir/sketch/misra_gries.cc.o.d"
+  "/root/repo/src/sketch/space_saving.cc" "src/CMakeFiles/asketch.dir/sketch/space_saving.cc.o" "gcc" "src/CMakeFiles/asketch.dir/sketch/space_saving.cc.o.d"
+  "/root/repo/src/sketch/topk_sketch.cc" "src/CMakeFiles/asketch.dir/sketch/topk_sketch.cc.o" "gcc" "src/CMakeFiles/asketch.dir/sketch/topk_sketch.cc.o.d"
+  "/root/repo/src/workload/dataset_io.cc" "src/CMakeFiles/asketch.dir/workload/dataset_io.cc.o" "gcc" "src/CMakeFiles/asketch.dir/workload/dataset_io.cc.o.d"
+  "/root/repo/src/workload/exact_counter.cc" "src/CMakeFiles/asketch.dir/workload/exact_counter.cc.o" "gcc" "src/CMakeFiles/asketch.dir/workload/exact_counter.cc.o.d"
+  "/root/repo/src/workload/metrics.cc" "src/CMakeFiles/asketch.dir/workload/metrics.cc.o" "gcc" "src/CMakeFiles/asketch.dir/workload/metrics.cc.o.d"
+  "/root/repo/src/workload/query_generator.cc" "src/CMakeFiles/asketch.dir/workload/query_generator.cc.o" "gcc" "src/CMakeFiles/asketch.dir/workload/query_generator.cc.o.d"
+  "/root/repo/src/workload/stream_generator.cc" "src/CMakeFiles/asketch.dir/workload/stream_generator.cc.o" "gcc" "src/CMakeFiles/asketch.dir/workload/stream_generator.cc.o.d"
+  "/root/repo/src/workload/trace_simulators.cc" "src/CMakeFiles/asketch.dir/workload/trace_simulators.cc.o" "gcc" "src/CMakeFiles/asketch.dir/workload/trace_simulators.cc.o.d"
+  "/root/repo/src/workload/zipf.cc" "src/CMakeFiles/asketch.dir/workload/zipf.cc.o" "gcc" "src/CMakeFiles/asketch.dir/workload/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

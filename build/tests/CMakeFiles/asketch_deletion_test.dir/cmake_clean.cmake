@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asketch_deletion_test.dir/asketch_deletion_test.cc.o"
+  "CMakeFiles/asketch_deletion_test.dir/asketch_deletion_test.cc.o.d"
+  "asketch_deletion_test"
+  "asketch_deletion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asketch_deletion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asketch_test.dir/asketch_test.cc.o"
+  "CMakeFiles/asketch_test.dir/asketch_test.cc.o.d"
+  "asketch_test"
+  "asketch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyadic_count_min_test.dir/dyadic_count_min_test.cc.o"
+  "CMakeFiles/dyadic_count_min_test.dir/dyadic_count_min_test.cc.o.d"
+  "dyadic_count_min_test"
+  "dyadic_count_min_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyadic_count_min_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimator_adapter_test.dir/estimator_adapter_test.cc.o"
+  "CMakeFiles/estimator_adapter_test.dir/estimator_adapter_test.cc.o.d"
+  "estimator_adapter_test"
+  "estimator_adapter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimator_adapter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

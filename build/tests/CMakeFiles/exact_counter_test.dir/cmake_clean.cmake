@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_counter_test.dir/exact_counter_test.cc.o"
+  "CMakeFiles/exact_counter_test.dir/exact_counter_test.cc.o.d"
+  "exact_counter_test"
+  "exact_counter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_counter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

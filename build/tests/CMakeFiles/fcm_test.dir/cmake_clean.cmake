@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcm_test.dir/fcm_test.cc.o"
+  "CMakeFiles/fcm_test.dir/fcm_test.cc.o.d"
+  "fcm_test"
+  "fcm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

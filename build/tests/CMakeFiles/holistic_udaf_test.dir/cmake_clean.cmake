@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holistic_udaf_test.dir/holistic_udaf_test.cc.o"
+  "CMakeFiles/holistic_udaf_test.dir/holistic_udaf_test.cc.o.d"
+  "holistic_udaf_test"
+  "holistic_udaf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holistic_udaf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

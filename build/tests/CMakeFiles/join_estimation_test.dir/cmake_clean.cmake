@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_estimation_test.dir/join_estimation_test.cc.o"
+  "CMakeFiles/join_estimation_test.dir/join_estimation_test.cc.o.d"
+  "join_estimation_test"
+  "join_estimation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_estimation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

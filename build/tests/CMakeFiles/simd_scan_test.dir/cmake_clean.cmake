@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simd_scan_test.dir/simd_scan_test.cc.o"
+  "CMakeFiles/simd_scan_test.dir/simd_scan_test.cc.o.d"
+  "simd_scan_test"
+  "simd_scan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simd_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

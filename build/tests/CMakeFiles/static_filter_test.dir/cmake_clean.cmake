@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_filter_test.dir/static_filter_test.cc.o"
+  "CMakeFiles/static_filter_test.dir/static_filter_test.cc.o.d"
+  "static_filter_test"
+  "static_filter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topk_sketch_test.dir/topk_sketch_test.cc.o"
+  "CMakeFiles/topk_sketch_test.dir/topk_sketch_test.cc.o.d"
+  "topk_sketch_test"
+  "topk_sketch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topk_sketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

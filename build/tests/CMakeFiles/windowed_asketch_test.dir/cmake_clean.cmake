@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/windowed_asketch_test.dir/windowed_asketch_test.cc.o"
+  "CMakeFiles/windowed_asketch_test.dir/windowed_asketch_test.cc.o.d"
+  "windowed_asketch_test"
+  "windowed_asketch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/windowed_asketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

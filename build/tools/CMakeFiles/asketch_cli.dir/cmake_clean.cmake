@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asketch_cli.dir/asketch_cli.cc.o"
+  "CMakeFiles/asketch_cli.dir/asketch_cli.cc.o.d"
+  "asketch_cli"
+  "asketch_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asketch_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for asketch_cli.
+# This may be replaced when dependencies are built.

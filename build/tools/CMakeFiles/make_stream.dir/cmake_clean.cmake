@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/make_stream.dir/make_stream.cc.o"
+  "CMakeFiles/make_stream.dir/make_stream.cc.o.d"
+  "make_stream"
+  "make_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/make_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
