@@ -8,14 +8,211 @@ HashFamily::HashFamily(uint32_t rows, uint32_t range, uint64_t seed)
     : range_(range) {
   ASKETCH_CHECK(rows >= 1);
   ASKETCH_CHECK(range >= 1);
+  barrett_magic_ = ~uint64_t{0} / range;
   Rng rng(seed);
   funcs_.reserve(rows);
+  a_lo_.reserve(rows);
+  a_hi_.reserve(rows);
+  b_.reserve(rows);
   for (uint32_t i = 0; i < rows; ++i) {
     const uint64_t a = 1 + rng.NextBounded(kMersenne61 - 1);
     const uint64_t b = rng.NextBounded(kMersenne61);
     funcs_.emplace_back(a, b, range);
+    a_lo_.push_back(a & 0xffffffffu);
+    a_hi_.push_back(a >> 32);
+    b_.push_back(b);
   }
 }
+
+#if defined(__GNUC__) && !defined(__clang__)
+// GCC's -Wmaybe-uninitialized fires spuriously inside the AVX-512 maskz
+// intrinsic headers (GCC PR105593).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+void HashFamily::BucketsForKeys(const uint32_t* keys, size_t count,
+                                uint32_t* out, size_t stride) const {
+  ASKETCH_DCHECK(stride >= count);
+  const uint32_t nrows = rows();
+  size_t k = 0;
+#if defined(__AVX512F__) && defined(__AVX512VL__)
+  // Eight keys per vector; same exact arithmetic as the AVX2 path below
+  // (see its comments for the fold and Barrett derivations), with mask
+  // registers replacing the compare-and-subtract idiom. A masked load
+  // covers the final partial group, so no scalar tail remains.
+  constexpr size_t kKeyBlock = 32;  // keys per outer block (4 vectors)
+  const __m512i m61 = _mm512_set1_epi64(
+      static_cast<long long>(kMersenne61));
+  const __m512i low29 = _mm512_set1_epi64((1ll << 29) - 1);
+  const __m512i low32 = _mm512_set1_epi64(0xffffffffll);
+  const __m512i magic_lo = _mm512_set1_epi64(
+      static_cast<long long>(barrett_magic_ & 0xffffffffu));
+  const __m512i magic_hi = _mm512_set1_epi64(
+      static_cast<long long>(barrett_magic_ >> 32));
+  const __m512i vd = _mm512_set1_epi64(static_cast<long long>(range_));
+  while (k < count) {
+    const size_t block = std::min(kKeyBlock, count - k);
+    const size_t groups = (block + 7) / 8;
+    __m512i x[kKeyBlock / 8];
+    size_t live[kKeyBlock / 8];  // keys in this group (8, or a tail)
+    for (size_t g = 0; g < groups; ++g) {
+      live[g] = std::min<size_t>(8, block - 8 * g);
+      const __mmask8 lanes_mask =
+          static_cast<__mmask8>((1u << live[g]) - 1);
+      x[g] = _mm512_cvtepu32_epi64(
+          _mm256_maskz_loadu_epi32(lanes_mask, keys + k + 8 * g));
+    }
+    for (uint32_t r = 0; r < nrows; ++r) {
+      const __m512i a_lo = _mm512_set1_epi64(
+          static_cast<long long>(a_lo_[r]));
+      const __m512i a_hi = _mm512_set1_epi64(
+          static_cast<long long>(a_hi_[r]));
+      const __m512i b = _mm512_set1_epi64(static_cast<long long>(b_[r]));
+      for (size_t g = 0; g < groups; ++g) {
+        const __m512i t1 = _mm512_mul_epu32(x[g], a_lo);
+        const __m512i t2 = _mm512_mul_epu32(x[g], a_hi);
+        const __m512i u = _mm512_srli_epi64(t2, 29);
+        const __m512i v =
+            _mm512_slli_epi64(_mm512_and_si512(t2, low29), 32);
+        const __m512i t1f = _mm512_add_epi64(_mm512_and_si512(t1, m61),
+                                             _mm512_srli_epi64(t1, 61));
+        __m512i s = _mm512_add_epi64(_mm512_add_epi64(t1f, v),
+                                     _mm512_add_epi64(u, b));
+        s = _mm512_add_epi64(_mm512_and_si512(s, m61),
+                             _mm512_srli_epi64(s, 61));
+        s = _mm512_mask_sub_epi64(
+            s, _mm512_cmpge_epu64_mask(s, m61), s, m61);
+        const __m512i h0 = _mm512_and_si512(s, low32);
+        const __m512i h1 = _mm512_srli_epi64(s, 32);
+        const __m512i p00 = _mm512_mul_epu32(h0, magic_lo);
+        const __m512i mid =
+            _mm512_add_epi64(_mm512_mul_epu32(h1, magic_lo),
+                             _mm512_srli_epi64(p00, 32));
+        const __m512i acc =
+            _mm512_add_epi64(_mm512_mul_epu32(h0, magic_hi),
+                             _mm512_and_si512(mid, low32));
+        const __m512i q = _mm512_add_epi64(
+            _mm512_mul_epu32(h1, magic_hi),
+            _mm512_add_epi64(_mm512_srli_epi64(mid, 32),
+                             _mm512_srli_epi64(acc, 32)));
+        const __m512i qd = _mm512_add_epi64(
+            _mm512_mul_epu32(_mm512_and_si512(q, low32), vd),
+            _mm512_slli_epi64(
+                _mm512_mul_epu32(_mm512_srli_epi64(q, 32), vd), 32));
+        __m512i rem = _mm512_sub_epi64(s, qd);
+        rem = _mm512_mask_sub_epi64(
+            rem, _mm512_cmpge_epu64_mask(rem, vd), rem, vd);
+        // Row-major layout: the eight buckets of row r for this key
+        // group are contiguous — one narrowing store, no lane shuffling
+        // through the stack.
+        uint32_t* dst = out + r * stride + (k + 8 * g);
+        const __m256i narrowed = _mm512_cvtepi64_epi32(rem);
+        if (live[g] == 8) {
+          _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst), narrowed);
+        } else {
+          _mm256_mask_storeu_epi32(
+              dst, static_cast<__mmask8>((1u << live[g]) - 1), narrowed);
+        }
+      }
+    }
+    k += block;
+  }
+#elif defined(__AVX2__)
+  // Four keys per vector, rows in the outer loop so each row's
+  // coefficients are broadcast once per block of keys. Everything is
+  // exact u64 lane arithmetic: the 93-bit product a*x + b is assembled
+  // from 32x32 multiplies and folded mod 2^61-1 (2^61 ≡ 1), then
+  // reduced mod range with a Barrett multiply whose quotient is off by
+  // at most one for inputs < 2^61 — one conditional subtract lands the
+  // exact remainder.
+  constexpr size_t kKeyBlock = 32;  // keys per outer block (8 vectors)
+  const __m256i m61 = _mm256_set1_epi64x(
+      static_cast<long long>(kMersenne61));
+  const __m256i m61_minus1 = _mm256_set1_epi64x(
+      static_cast<long long>(kMersenne61 - 1));
+  const __m256i low29 = _mm256_set1_epi64x((1ll << 29) - 1);
+  const __m256i low32 = _mm256_set1_epi64x(0xffffffffll);
+  const __m256i magic_lo = _mm256_set1_epi64x(
+      static_cast<long long>(barrett_magic_ & 0xffffffffu));
+  const __m256i magic_hi = _mm256_set1_epi64x(
+      static_cast<long long>(barrett_magic_ >> 32));
+  const __m256i vd = _mm256_set1_epi64x(static_cast<long long>(range_));
+  const __m256i vd_minus1 = _mm256_set1_epi64x(
+      static_cast<long long>(range_) - 1);
+  for (; k + 4 <= count;) {
+    const size_t block = std::min(kKeyBlock, (count - k) & ~size_t{3});
+    const size_t groups = block / 4;
+    __m256i x[kKeyBlock / 4];
+    for (size_t g = 0; g < groups; ++g) {
+      x[g] = _mm256_cvtepu32_epi64(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(keys + k + 4 * g)));
+    }
+    for (uint32_t r = 0; r < nrows; ++r) {
+      const __m256i a_lo = _mm256_set1_epi64x(
+          static_cast<long long>(a_lo_[r]));
+      const __m256i a_hi = _mm256_set1_epi64x(
+          static_cast<long long>(a_hi_[r]));
+      const __m256i b = _mm256_set1_epi64x(static_cast<long long>(b_[r]));
+      for (size_t g = 0; g < groups; ++g) {
+        // a*x = aLo*x + (aHi*x)<<32; the shifted half folds as
+        // t2*2^32 = (t2>>29)*2^61 + (t2 mod 2^29)*2^32
+        //         ≡ (t2>>29)      + (t2 mod 2^29)*2^32   (mod 2^61-1).
+        const __m256i t1 = _mm256_mul_epu32(x[g], a_lo);  // < 2^64
+        const __m256i t2 = _mm256_mul_epu32(x[g], a_hi);  // < 2^61
+        const __m256i u = _mm256_srli_epi64(t2, 29);
+        const __m256i v =
+            _mm256_slli_epi64(_mm256_and_si256(t2, low29), 32);
+        const __m256i t1f = _mm256_add_epi64(_mm256_and_si256(t1, m61),
+                                             _mm256_srli_epi64(t1, 61));
+        __m256i s = _mm256_add_epi64(_mm256_add_epi64(t1f, v),
+                                     _mm256_add_epi64(u, b));  // < 2^63
+        s = _mm256_add_epi64(_mm256_and_si256(s, m61),
+                             _mm256_srli_epi64(s, 61));  // < 2^61 + 4
+        s = _mm256_sub_epi64(
+            s, _mm256_and_si256(_mm256_cmpgt_epi64(s, m61_minus1), m61));
+        // Barrett: q = mulhi64(s, magic) via 32x32 partials (s < 2^61,
+        // so the h1 terms cannot carry out of a lane).
+        const __m256i h0 = _mm256_and_si256(s, low32);
+        const __m256i h1 = _mm256_srli_epi64(s, 32);
+        const __m256i p00 = _mm256_mul_epu32(h0, magic_lo);
+        const __m256i mid =
+            _mm256_add_epi64(_mm256_mul_epu32(h1, magic_lo),
+                             _mm256_srli_epi64(p00, 32));
+        const __m256i acc =
+            _mm256_add_epi64(_mm256_mul_epu32(h0, magic_hi),
+                             _mm256_and_si256(mid, low32));
+        const __m256i q = _mm256_add_epi64(
+            _mm256_mul_epu32(h1, magic_hi),
+            _mm256_add_epi64(_mm256_srli_epi64(mid, 32),
+                             _mm256_srli_epi64(acc, 32)));
+        const __m256i qd = _mm256_add_epi64(
+            _mm256_mul_epu32(_mm256_and_si256(q, low32), vd),
+            _mm256_slli_epi64(
+                _mm256_mul_epu32(_mm256_srli_epi64(q, 32), vd), 32));
+        __m256i rem = _mm256_sub_epi64(s, qd);  // < 2*range
+        rem = _mm256_sub_epi64(
+            rem, _mm256_and_si256(_mm256_cmpgt_epi64(rem, vd_minus1), vd));
+        // Pack the four 64-bit lanes down to u32 and store them
+        // contiguously into row r (row-major layout).
+        const __m256i packed = _mm256_permutevar8x32_epi32(
+            rem, _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0));
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i*>(out + r * stride + k + 4 * g),
+            _mm256_castsi256_si128(packed));
+      }
+    }
+    k += block;
+  }
+#endif  // vector paths
+  for (; k < count; ++k) {
+    for (uint32_t r = 0; r < nrows; ++r) {
+      out[r * stride + k] = funcs_[r](keys[k]);
+    }
+  }
+}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 SignFamily::SignFamily(uint32_t rows, uint64_t seed) {
   ASKETCH_CHECK(rows >= 1);

@@ -13,6 +13,10 @@
 #include <cstdint>
 #include <vector>
 
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
 #include "src/common/check.h"
 
 namespace asketch {
@@ -78,8 +82,25 @@ class HashFamily {
     return funcs_[row](key);
   }
 
+  /// Buckets of `count` 32-bit keys under every row, stored row-major:
+  /// out[r * stride + k] receives Bucket(r, keys[k]), bit-identical to
+  /// the scalar per-row computation (`stride` >= count; the row-major
+  /// layout lets the vector kernels store each row's lane group with one
+  /// contiguous write). The AVX-512 path hashes eight keys per
+  /// instruction stream (AVX2: four) and replaces the per-bucket
+  /// `mod range` division with an exact Barrett reduction — the hash
+  /// kernel of the batched ingestion path, where misses arrive in blocks
+  /// and the vector lanes are full.
+  void BucketsForKeys(const uint32_t* keys, size_t count, uint32_t* out,
+                      size_t stride) const;
+
  private:
   std::vector<PairwiseHash> funcs_;
+  // Structure-of-arrays copy of the coefficients for BucketsForKeys: a is
+  // split into 32-bit halves (the 64x64 products are assembled from
+  // 32x32 vector multiplies), b is kept whole.
+  std::vector<uint64_t> a_lo_, a_hi_, b_;
+  uint64_t barrett_magic_ = 0;  // floor((2^64 - 1) / range_)
   uint32_t range_ = 1;
 };
 

@@ -5,8 +5,10 @@
 // lookups with their random accesses and pointer chasing (§6.1). FindKey is
 // a faithful generalization of the paper's Algorithm 3 (SSE2
 // _mm_cmpeq_epi32 + movemask + ctz) from 16 elements to any multiple of 16;
-// an AVX2 variant and a scalar fallback are provided. MinIndex implements
-// the other filter primitive, locating the smallest count.
+// an AVX2 variant and a scalar fallback are provided. FindKeysBatch probes
+// many keys per pass over the array (the batched-ingestion fast path).
+// MinIndex implements the other filter primitive, locating the smallest
+// count.
 //
 // Arrays passed to the *Sse2/*Avx2 entry points must be padded to a
 // multiple of 16 elements; `n` is the logical element count. Padding cells
@@ -115,6 +117,137 @@ inline int32_t FindKey(const uint32_t* ids, size_t padded, size_t n,
 #else
   (void)padded;
   return FindKeyScalar(ids, n, key);
+#endif
+}
+
+/// Maximum number of keys one FindKeysBatch call may probe; the pending
+/// set is tracked in a 32-bit mask.
+inline constexpr size_t kMaxProbeBatch = 32;
+
+/// Scalar reference implementation of FindKeysBatch: slots[i] receives
+/// FindKey(ids, n, keys[i]) for each of the `count` keys.
+inline void FindKeysScalar(const uint32_t* ids, size_t n,
+                           const uint32_t* keys, size_t count,
+                           int32_t* slots) {
+  for (size_t k = 0; k < count; ++k) {
+    slots[k] = FindKeyScalar(ids, n, keys[k]);
+  }
+}
+
+#if defined(__AVX2__)
+/// AVX2 multi-key probe: one pass over the id array resolves up to 32
+/// keys. Each 16-element block is loaded once and compared against every
+/// still-unresolved needle, amortizing the array traffic the per-key scan
+/// pays `count` times — the batched form of Algorithm 3 the ingestion
+/// fast path relies on. Semantics match per-key FindKey exactly: first
+/// match wins, and a first match inside the padding (index >= n) means
+/// "absent" (blocks are visited in ascending order, so no live match can
+/// follow one in the padding).
+inline void FindKeysAvx2(const uint32_t* ids, size_t padded, size_t n,
+                         const uint32_t* keys, size_t count,
+                         int32_t* slots) {
+  ASKETCH_DCHECK(padded % kSimdBlockElements == 0);
+  ASKETCH_DCHECK(n <= padded);
+  ASKETCH_DCHECK(count <= kMaxProbeBatch);
+  if (padded == 2 * kSimdBlockElements) {
+    // A 32-element array fits in four YMM registers: hoist it once and
+    // resolve every key with four compares and zero data-dependent
+    // branches (the hit/miss branch in the pending-mask loop below
+    // mispredicts heavily on mixed hit/miss batches, which is the common
+    // case for a 32-item filter).
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ids));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ids + 8));
+    const __m256i v2 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ids + 16));
+    const __m256i v3 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ids + 24));
+    for (size_t k = 0; k < count; ++k) {
+      const __m256i needle =
+          _mm256_set1_epi32(static_cast<int32_t>(keys[k]));
+      const uint32_t m0 = static_cast<uint32_t>(_mm256_movemask_ps(
+          _mm256_castsi256_ps(_mm256_cmpeq_epi32(needle, v0))));
+      const uint32_t m1 = static_cast<uint32_t>(_mm256_movemask_ps(
+          _mm256_castsi256_ps(_mm256_cmpeq_epi32(needle, v1))));
+      const uint32_t m2 = static_cast<uint32_t>(_mm256_movemask_ps(
+          _mm256_castsi256_ps(_mm256_cmpeq_epi32(needle, v2))));
+      const uint32_t m3 = static_cast<uint32_t>(_mm256_movemask_ps(
+          _mm256_castsi256_ps(_mm256_cmpeq_epi32(needle, v3))));
+      const uint32_t mask = m0 | (m1 << 8) | (m2 << 16) | (m3 << 24);
+      // ffs maps no-match to 0 - 1 == -1; a padding match (index >= n)
+      // also reports absent, matching per-key FindKey.
+      const int32_t index = __builtin_ffs(static_cast<int>(mask)) - 1;
+      slots[k] = index < static_cast<int32_t>(n) ? index : -1;
+    }
+    return;
+  }
+  if (padded == kSimdBlockElements) {
+    // Same idea for a 16-element array (two registers).
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ids));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ids + 8));
+    for (size_t k = 0; k < count; ++k) {
+      const __m256i needle =
+          _mm256_set1_epi32(static_cast<int32_t>(keys[k]));
+      const uint32_t m0 = static_cast<uint32_t>(_mm256_movemask_ps(
+          _mm256_castsi256_ps(_mm256_cmpeq_epi32(needle, v0))));
+      const uint32_t m1 = static_cast<uint32_t>(_mm256_movemask_ps(
+          _mm256_castsi256_ps(_mm256_cmpeq_epi32(needle, v1))));
+      const uint32_t mask = m0 | (m1 << 8);
+      const int32_t index = __builtin_ffs(static_cast<int>(mask)) - 1;
+      slots[k] = index < static_cast<int32_t>(n) ? index : -1;
+    }
+    return;
+  }
+  uint32_t pending =
+      count >= 32 ? ~uint32_t{0} : ((uint32_t{1} << count) - 1);
+  for (size_t k = 0; k < count; ++k) slots[k] = -1;
+  for (size_t base = 0; base < padded && pending != 0;
+       base += kSimdBlockElements) {
+    const __m256i lo = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(ids + base));
+    const __m256i hi = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(ids + base + 8));
+    uint32_t rest = pending;
+    while (rest != 0) {
+      const uint32_t k = static_cast<uint32_t>(__builtin_ctz(rest));
+      rest &= rest - 1;
+      const __m256i needle =
+          _mm256_set1_epi32(static_cast<int32_t>(keys[k]));
+      const uint32_t mask_lo = static_cast<uint32_t>(
+          _mm256_movemask_ps(_mm256_castsi256_ps(
+              _mm256_cmpeq_epi32(needle, lo))));
+      const uint32_t mask_hi = static_cast<uint32_t>(
+          _mm256_movemask_ps(_mm256_castsi256_ps(
+              _mm256_cmpeq_epi32(needle, hi))));
+      const uint32_t mask = mask_lo | (mask_hi << 8);
+      if (mask != 0) {
+        const size_t index = base + static_cast<size_t>(__builtin_ctz(mask));
+        slots[k] = index < n ? static_cast<int32_t>(index) : -1;
+        pending &= ~(uint32_t{1} << k);
+      }
+    }
+  }
+}
+#endif  // __AVX2__
+
+/// Best-available multi-key FindKey for this build: slots[i] = slot of
+/// keys[i], or -1. `count` must be <= kMaxProbeBatch. Duplicate keys
+/// resolve to the same slot.
+inline void FindKeysBatch(const uint32_t* ids, size_t padded, size_t n,
+                          const uint32_t* keys, size_t count,
+                          int32_t* slots) {
+#if defined(__AVX2__)
+  FindKeysAvx2(ids, padded, n, keys, count, slots);
+#elif defined(__SSE2__)
+  for (size_t k = 0; k < count; ++k) {
+    slots[k] = FindKeySse2(ids, padded, n, keys[k]);
+  }
+#else
+  (void)padded;
+  FindKeysScalar(ids, n, keys, count, slots);
 #endif
 }
 

@@ -37,12 +37,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/common/check.h"
 #include "src/common/serialize.h"
+#include "src/common/simd_scan.h"
 #include "src/common/types.h"
 #include "src/filter/filter_interface.h"
 #include "src/filter/heap_filter.h"
@@ -104,6 +106,114 @@ class ASketch {
       UpdatePositive(key, delta);
     } else {
       UpdateNegative(key, delta);
+    }
+  }
+
+  /// Batched Algorithm 1 — the ingestion fast path. Tuples are processed
+  /// in stream order and the resulting filter/sketch state is
+  /// bit-identical to the equivalent sequence of Update() calls
+  /// (identical hit aggregation, identical exchange decisions, identical
+  /// stats). The throughput comes from working in chunks:
+  ///
+  ///   1. one multi-key SIMD pass over the filter id array resolves a
+  ///      whole chunk of probes (FindKeysBatch) instead of re-scanning
+  ///      per tuple;
+  ///   2. the misses' sketch buckets are hashed in one vectorized pass
+  ///      (PrepareUpdateBatch) and, for sketches too large to sit in
+  ///      cache, their cells software-prefetched up front so the w
+  ///      random accesses of each miss overlap the tuples ahead of it.
+  ///
+  /// Probed slots are reused until a structural filter change (free-slot
+  /// insertion, exchange) or a slot-moving hit invalidates them; from
+  /// then on the remainder of the chunk falls back to per-key Find, which
+  /// keeps the walk exactly equivalent to Algorithm 1. Tuple weights are
+  /// unsigned; zero-weight tuples are skipped like Update(key, 0).
+  void UpdateBatch(std::span<const Tuple> tuples) {
+    constexpr size_t kChunk = 16;
+    static_assert(kChunk <= kMaxProbeBatch);
+    // Backends exposing the prepared-update API (PrepareUpdateBatch +
+    // UpdateAndEstimateAt) hash a whole chunk's misses in one vectorized
+    // pass at prefetch time; others fall back to a plain per-key
+    // Prefetch if they have one.
+    constexpr bool kPrepared =
+        requires(SketchT& s, const item_t* k, uint32_t* b, delta_t d) {
+          s.PrepareUpdateBatch(k, size_t{1}, b);
+          s.UpdateAndEstimateAt(b, d, size_t{1});
+        };
+    item_t keys[kChunk];
+    int32_t slots[kChunk];
+    item_t miss_keys[kChunk];
+    int8_t miss_index[kChunk];
+    uint32_t rows = 0;
+    std::vector<uint32_t> buckets;
+    if constexpr (kPrepared) {
+      rows = sketch_.width();
+      buckets.resize(kChunk * rows);
+    }
+    const size_t n = tuples.size();
+    for (size_t begin = 0; begin < n; begin += kChunk) {
+      const size_t count = std::min(kChunk, n - begin);
+      for (size_t i = 0; i < count; ++i) keys[i] = tuples[begin + i].key;
+      if constexpr (requires(const FilterT& f) {
+                      f.FindBatch(keys, count, slots);
+                    }) {
+        filter_.FindBatch(keys, count, slots);
+      } else {
+        for (size_t i = 0; i < count; ++i) slots[i] = filter_.Find(keys[i]);
+      }
+      // Hash (and, for out-of-cache sketches, warm) the sketch rows of
+      // the probed misses before the in-order walk reaches them; hits
+      // never touch the sketch.
+      size_t miss_count = 0;
+      if constexpr (kPrepared) {
+        // Branchless compaction — the hit/miss mix is data-dependent and
+        // a conditional append mispredicts on every boundary.
+        for (size_t i = 0; i < count; ++i) {
+          const bool miss = slots[i] < 0;
+          miss_keys[miss_count] = keys[i];
+          miss_index[i] = miss ? static_cast<int8_t>(miss_count)
+                               : static_cast<int8_t>(-1);
+          miss_count += miss;
+        }
+        sketch_.PrepareUpdateBatch(miss_keys, miss_count, buckets.data());
+      } else if constexpr (requires(const SketchT& s, item_t k) {
+                             s.Prefetch(k);
+                           }) {
+        for (size_t i = 0; i < count; ++i) {
+          if (slots[i] < 0) sketch_.Prefetch(keys[i]);
+        }
+      }
+      bool slots_valid = true;
+      for (size_t i = 0; i < count; ++i) {
+        const delta_t delta = static_cast<delta_t>(tuples[begin + i].value);
+        if (delta == 0) continue;
+        const int32_t slot =
+            slots_valid ? slots[i] : filter_.Find(keys[i]);
+        if (slot >= 0) {
+          filter_.AddToNewCount(slot, delta);
+          stats_.filtered_weight += static_cast<wide_count_t>(delta);
+          if constexpr (requires { FilterT::HitInvalidatesSlots(slot); }) {
+            if (FilterT::HitInvalidatesSlots(slot)) slots_valid = false;
+          } else {
+            slots_valid = false;
+          }
+          continue;
+        }
+        // Buckets were prepared iff the original probe reported a miss;
+        // they stay valid across filter mutations (they depend only on
+        // the sketch's hash seeds, not on filter state). Row-major
+        // layout: the key's column starts at its miss index with the
+        // chunk's miss count as the stride.
+        const uint32_t* prepared = nullptr;
+        if constexpr (kPrepared) {
+          if (miss_index[i] >= 0) {
+            prepared = &buckets[static_cast<size_t>(miss_index[i])];
+          }
+        }
+        if (MissPositive(keys[i], delta, prepared, miss_count)) {
+          slots_valid = false;
+        }
+      }
     }
   }
 
@@ -246,33 +356,54 @@ class ASketch {
 
  private:
   void UpdatePositive(item_t key, delta_t delta) {
-    // Lines 1-6: filter lookup / free-slot insertion.
+    // Lines 1-6: filter lookup / hit aggregation.
     const int32_t slot = filter_.Find(key);
     if (slot >= 0) {
       filter_.AddToNewCount(slot, delta);
       stats_.filtered_weight += static_cast<wide_count_t>(delta);
       return;
     }
+    MissPositive(key, delta);
+  }
+
+  /// Lines 6-17 of Algorithm 1 for a key known to be absent from the
+  /// filter: free-slot insertion, or sketch insert with the
+  /// one-exchange-per-insertion rule. Returns true when the filter's
+  /// membership changed (insertion or exchange) — i.e. slots found before
+  /// this call are stale. `prepared` optionally carries the bucket
+  /// indices PrepareUpdate/PrepareUpdateBatch computed for `key` (batch
+  /// path; row r's bucket at prepared[r*stride]); they replace the hash
+  /// pass of the sketch insert with a bit-identical replay.
+  bool MissPositive(item_t key, delta_t delta,
+                    const uint32_t* prepared = nullptr,
+                    size_t stride = 1) {
     if (!filter_.Full()) {
       filter_.Insert(key, static_cast<count_t>(std::min<delta_t>(
                               delta, ~count_t{0})),
                      /*old_count=*/0);
       stats_.filtered_weight += static_cast<wide_count_t>(delta);
-      return;
+      return true;
     }
     // Lines 7-9: forward to the sketch and read back the new estimate.
     // Backends exposing the fused UpdateAndEstimate hash only once here;
     // others fall back to Update + Estimate.
     count_t estimate;
-    if constexpr (requires(SketchT& s) { s.UpdateAndEstimate(key, delta); }) {
-      estimate = sketch_.UpdateAndEstimate(key, delta);
+    if constexpr (requires(SketchT& s) {
+                    s.UpdateAndEstimateAt(prepared, delta, stride);
+                  }) {
+      if (prepared != nullptr) {
+        estimate = sketch_.UpdateAndEstimateAt(prepared, delta, stride);
+      } else {
+        estimate = UpdateAndEstimateUnprepared(key, delta);
+      }
     } else {
-      sketch_.Update(key, delta);
-      estimate = sketch_.Estimate(key);
+      (void)prepared;
+      (void)stride;
+      estimate = UpdateAndEstimateUnprepared(key, delta);
     }
     ++stats_.sketch_updates;
     stats_.sketch_weight += static_cast<wide_count_t>(delta);
-    if (!enable_exchanges_) return;
+    if (!enable_exchanges_) return false;
     // Lines 9-17: at most ONE exchange per sketch insertion. Multiple
     // cascading exchanges would re-inject over-estimated counts and only
     // add error (see the paper's discussion of the exchange policy).
@@ -290,15 +421,33 @@ class ASketch {
       // start at the estimate so (new - old) = 0 exact hits so far.
       filter_.Insert(key, estimate, estimate);
       ++stats_.exchanges;
+      return true;
+    }
+    return false;
+  }
+
+  count_t UpdateAndEstimateUnprepared(item_t key, delta_t delta) {
+    if constexpr (requires(SketchT& s) {
+                    s.UpdateAndEstimate(key, delta);
+                  }) {
+      return sketch_.UpdateAndEstimate(key, delta);
+    } else {
+      sketch_.Update(key, delta);
+      return sketch_.Estimate(key);
     }
   }
 
   void UpdateNegative(item_t key, delta_t delta) {
     const int32_t slot = filter_.Find(key);
     if (slot < 0) {
-      // Not monitored: the deletion applies directly to the sketch.
+      // Not monitored: the deletion applies directly to the sketch, and
+      // the weight it removes comes out of the sketch's share of the
+      // stream (N2). Clamped: over-deletion of colliding keys must not
+      // wrap the unsigned stats counters.
       sketch_.Update(key, delta);
       ++stats_.sketch_updates;
+      DeductWeight(stats_.sketch_weight, static_cast<count_t>(std::min<delta_t>(
+                                             -delta, ~count_t{0})));
       return;
     }
     const count_t magnitude = static_cast<count_t>(
@@ -307,8 +456,10 @@ class ASketch {
     const count_t old_count = filter_.OldCount(slot);
     const count_t slack = new_count - old_count;  // exact filter-era hits
     if (slack >= magnitude) {
-      // The filter's exact portion absorbs the whole deletion.
+      // The filter's exact portion absorbs the whole deletion; the
+      // removed weight was counted as filtered when it arrived.
       filter_.AddToNewCount(slot, delta);
+      DeductWeight(stats_.filtered_weight, magnitude);
       return;
     }
     // Appendix A: subtract `magnitude` from new_count and the residual
@@ -319,7 +470,18 @@ class ASketch {
     filter_.SetCounts(slot, next, next);
     sketch_.Update(key, -static_cast<delta_t>(residual));
     ++stats_.sketch_updates;
+    // The slack portion undoes filter-absorbed weight (N1); the residual
+    // undoes weight that had reached the sketch (N2).
+    DeductWeight(stats_.filtered_weight, slack);
+    DeductWeight(stats_.sketch_weight, residual);
     // Per Appendix A, no exchange is initiated by a negative update.
+  }
+
+  /// Removes deleted weight from a split-stats counter without wrapping:
+  /// an over-deletion (possible for unmonitored keys, whose sketch
+  /// estimate may exceed the true count) floors the counter at zero.
+  static void DeductWeight(wide_count_t& counter, count_t amount) {
+    counter -= std::min<wide_count_t>(counter, amount);
   }
 
   FilterT filter_;

@@ -137,38 +137,54 @@ void PipelineASketch::DrainReverseQueue() {
 }
 
 void PipelineASketch::SketchStageMain() {
-  ForwardMsg msg;
+  // Drain the forward queue in batches: one acquire/release pair covers
+  // up to kDrainBatch messages, and the sketch rows of every drained
+  // update are prefetched before any of them is applied, so each
+  // message's w random cell accesses overlap its predecessors'.
+  constexpr size_t kDrainBatch = 16;
+  ForwardMsg batch[kDrainBatch];
   while (true) {
-    if (!forward_.TryPop(&msg)) {
+    const size_t got = forward_.TryPopBatch(batch, kDrainBatch);
+    if (got == 0) {
       if (stop_.load(std::memory_order_acquire) && forward_.Empty()) {
         return;
       }
       std::this_thread::yield();
       continue;
     }
-    switch (msg.kind) {
-      case ForwardKind::kUpdate: {
-        const count_t estimate =
-            sketch_.UpdateAndEstimate(msg.key, msg.weight);
-        if (estimate > min_count_.load(std::memory_order_relaxed)) {
-          // Propose an exchange; drop the proposal if the reverse queue
-          // is full (the filter stage will hear about the key again).
-          reverse_.TryPush(
-              ReverseMsg{ReverseKind::kCandidate, msg.key, estimate});
-        }
-        break;
-      }
-      case ForwardKind::kMark: {
-        const count_t estimate = sketch_.Estimate(msg.key);
-        // The fix-up must not be lost: spin until it fits.
-        while (!reverse_.TryPush(
-            ReverseMsg{ReverseKind::kFixup, msg.key, estimate})) {
-          std::this_thread::yield();
-        }
-        break;
+    for (size_t i = 0; i < got; ++i) {
+      if (batch[i].kind == ForwardKind::kUpdate) {
+        sketch_.Prefetch(batch[i].key);
       }
     }
-    consumed_.fetch_add(1, std::memory_order_release);
+    for (size_t i = 0; i < got; ++i) {
+      const ForwardMsg& msg = batch[i];
+      switch (msg.kind) {
+        case ForwardKind::kUpdate: {
+          const count_t estimate =
+              sketch_.UpdateAndEstimate(msg.key, msg.weight);
+          if (estimate > min_count_.load(std::memory_order_relaxed)) {
+            // Propose an exchange; drop the proposal if the reverse queue
+            // is full (the filter stage will hear about the key again).
+            reverse_.TryPush(
+                ReverseMsg{ReverseKind::kCandidate, msg.key, estimate});
+          }
+          break;
+        }
+        case ForwardKind::kMark: {
+          const count_t estimate = sketch_.Estimate(msg.key);
+          // The fix-up must not be lost: spin until it fits.
+          while (!reverse_.TryPush(
+              ReverseMsg{ReverseKind::kFixup, msg.key, estimate})) {
+            std::this_thread::yield();
+          }
+          break;
+        }
+      }
+      // Incremented after this message's pushes so Flush() can conclude
+      // from consumed == produced that every reverse message is visible.
+      consumed_.fetch_add(1, std::memory_order_release);
+    }
   }
 }
 

@@ -41,12 +41,12 @@ SpmdAsketchGroup::SpmdAsketchGroup(uint32_t num_kernels,
 }
 
 void SpmdAsketchGroup::Process(std::span<const Tuple> stream) {
+  // Each kernel ingests its partition through the batched fast path
+  // (chunked SIMD filter probes + sketch-row prefetch); state is
+  // bit-identical to the per-tuple Update loop.
   ParallelChunks(stream, num_kernels(),
                  [this](uint32_t i, std::span<const Tuple> part) {
-                   auto& kernel = kernels_[i];
-                   for (const Tuple& t : part) {
-                     kernel.Update(t.key, t.value);
-                   }
+                   kernels_[i].UpdateBatch(part);
                  });
 }
 
@@ -78,10 +78,7 @@ SpmdCountMinGroup::SpmdCountMinGroup(uint32_t num_kernels,
 void SpmdCountMinGroup::Process(std::span<const Tuple> stream) {
   ParallelChunks(stream, num_kernels(),
                  [this](uint32_t i, std::span<const Tuple> part) {
-                   CountMin& kernel = kernels_[i];
-                   for (const Tuple& t : part) {
-                     kernel.Update(t.key, t.value);
-                   }
+                   kernels_[i].UpdateBatch(part);
                  });
 }
 

@@ -45,12 +45,22 @@ class WindowedASketch {
 
   /// Processes `weight` arrivals of `key` (weight >= 1; windowed
   /// semantics and deletions do not compose — expired counts already
-  /// vanish with their epoch).
+  /// vanish with their epoch). A weight larger than the current epoch's
+  /// remaining room is split across epoch boundaries: each window-sized
+  /// slice closes out its epoch (rotating once per boundary crossed) and
+  /// only the remainder lands in the fresh epoch, exactly as if the
+  /// arrivals had come in one at a time.
   void Update(item_t key, count_t weight = 1) {
     ASKETCH_CHECK(weight >= 1);
-    current_.Update(key, static_cast<delta_t>(weight));
-    filled_ += weight;
-    if (filled_ >= window_size_) Rotate();
+    uint64_t left = weight;
+    while (left > 0) {
+      const uint64_t room = window_size_ - filled_;
+      const uint64_t take = std::min<uint64_t>(left, room);
+      current_.Update(key, static_cast<delta_t>(take));
+      filled_ += take;
+      left -= take;
+      if (filled_ == window_size_) Rotate();
+    }
   }
 
   /// Estimated frequency of `key` over the covered span (between one

@@ -56,6 +56,19 @@ class BasicHeapFilter {
     return FindKey(ids_.data(), ids_.size(), size_, key);
   }
 
+  /// Batched lookup: slots[i] = Find(keys[i]) for `count` keys
+  /// (count <= kMaxProbeBatch), resolved in one pass over the id array.
+  void FindBatch(const item_t* keys, size_t count, int32_t* slots) const {
+    FindKeysBatch(ids_.data(), ids_.size(), size_, keys, count, slots);
+  }
+
+  /// Whether AddToNewCount(slot, positive delta) can move entries and
+  /// therefore invalidate previously-found slots: the strict heap sifts
+  /// after every hit, the relaxed heap only rebuilds when the root is hit.
+  static constexpr bool HitInvalidatesSlots(int32_t slot) {
+    return kStrict || slot == 0;
+  }
+
   count_t NewCount(int32_t slot) const { return new_counts_[slot]; }
   count_t OldCount(int32_t slot) const { return old_counts_[slot]; }
 

@@ -39,6 +39,18 @@ class StreamSummaryFilter {
     return node == kSummaryNil ? -1 : static_cast<int32_t>(node);
   }
 
+  /// Batched lookup; hash-table probes don't amortize, so this is the
+  /// plain per-key loop (the batch path still wins via sketch prefetch).
+  void FindBatch(const item_t* keys, size_t count, int32_t* slots) const {
+    for (size_t i = 0; i < count; ++i) slots[i] = Find(keys[i]);
+  }
+
+  /// Node handles are stable across count changes (MoveToCount relinks
+  /// buckets without renumbering nodes).
+  static constexpr bool HitInvalidatesSlots(int32_t /*slot*/) {
+    return false;
+  }
+
   count_t NewCount(int32_t slot) const { return summary_.Count(slot); }
   count_t OldCount(int32_t slot) const { return summary_.Aux(slot); }
 

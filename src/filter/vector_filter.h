@@ -35,6 +35,18 @@ class VectorFilter {
     return FindKey(ids_.data(), ids_.size(), size_, key);
   }
 
+  /// Batched lookup: slots[i] = Find(keys[i]) for `count` keys
+  /// (count <= kMaxProbeBatch), resolved in one pass over the id array.
+  void FindBatch(const item_t* keys, size_t count, int32_t* slots) const {
+    FindKeysBatch(ids_.data(), ids_.size(), size_, keys, count, slots);
+  }
+
+  /// Slots returned by Find stay valid across AddToNewCount: the flat
+  /// array never reorders on a hit.
+  static constexpr bool HitInvalidatesSlots(int32_t /*slot*/) {
+    return false;
+  }
+
   count_t NewCount(int32_t slot) const { return new_counts_[slot]; }
   count_t OldCount(int32_t slot) const { return old_counts_[slot]; }
 

@@ -52,6 +52,51 @@ void CountMin::Update(item_t key, delta_t delta) {
   }
 }
 
+void CountMin::UpdateAt(const uint32_t* buckets, delta_t delta,
+                        size_t stride) {
+  if (config_.policy == CmUpdatePolicy::kConservative && delta > 0) {
+    count_t est = std::numeric_limits<count_t>::max();
+    for (uint32_t row = 0; row < config_.width; ++row) {
+      est = std::min(est, Cell(row, buckets[row * stride]));
+    }
+    const count_t target = SaturatingAdd(est, delta);
+    for (uint32_t row = 0; row < config_.width; ++row) {
+      count_t& cell = Cell(row, buckets[row * stride]);
+      cell = std::max(cell, target);
+    }
+    return;
+  }
+  for (uint32_t row = 0; row < config_.width; ++row) {
+    count_t& cell = Cell(row, buckets[row * stride]);
+    cell = SaturatingAdd(cell, delta);
+  }
+}
+
+count_t CountMin::UpdateAndEstimateAt(const uint32_t* buckets,
+                                      delta_t delta, size_t stride) {
+  if (config_.policy == CmUpdatePolicy::kConservative && delta > 0) {
+    count_t est = std::numeric_limits<count_t>::max();
+    for (uint32_t row = 0; row < config_.width; ++row) {
+      est = std::min(est, Cell(row, buckets[row * stride]));
+    }
+    const count_t target = SaturatingAdd(est, delta);
+    for (uint32_t row = 0; row < config_.width; ++row) {
+      count_t& cell = Cell(row, buckets[row * stride]);
+      cell = std::max(cell, target);
+    }
+    // Every hashed cell is now >= target and the minimal one exactly
+    // target, so the post-update estimate is target itself.
+    return target;
+  }
+  count_t est = std::numeric_limits<count_t>::max();
+  for (uint32_t row = 0; row < config_.width; ++row) {
+    count_t& cell = Cell(row, buckets[row * stride]);
+    cell = SaturatingAdd(cell, delta);
+    est = std::min(est, cell);
+  }
+  return est;
+}
+
 count_t CountMin::UpdateAndEstimate(item_t key, delta_t delta) {
   if (config_.policy == CmUpdatePolicy::kConservative && delta > 0) {
     // The conservative path already computes the estimate.
@@ -65,6 +110,28 @@ count_t CountMin::UpdateAndEstimate(item_t key, delta_t delta) {
     est = std::min(est, cell);
   }
   return est;
+}
+
+void CountMin::UpdateBatch(std::span<const Tuple> tuples) {
+  // Chunked two-phase ingestion: hash a whole chunk with the vectorized
+  // multi-key kernel (and prefetch every addressed cell), then apply the
+  // updates against warm lines. Each tuple is hashed exactly once; the
+  // chunk bound keeps the prefetches close enough that the lines are
+  // still resident when their update executes.
+  constexpr size_t kChunk = 16;
+  const size_t n = tuples.size();
+  const uint32_t w = config_.width;
+  std::vector<uint32_t> buckets(kChunk * w);
+  item_t keys[kChunk];
+  for (size_t begin = 0; begin < n; begin += kChunk) {
+    const size_t count = std::min(kChunk, n - begin);
+    for (size_t i = 0; i < count; ++i) keys[i] = tuples[begin + i].key;
+    PrepareUpdateBatch(keys, count, buckets.data());
+    for (size_t i = 0; i < count; ++i) {
+      UpdateAt(&buckets[i], static_cast<delta_t>(tuples[begin + i].value),
+               count);
+    }
+  }
 }
 
 count_t CountMin::Estimate(item_t key) const {

@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -71,6 +72,72 @@ class CountMin {
   /// Update(key, delta) followed by Estimate(key), hashing only once —
   /// the fused form Algorithm 1's miss path wants (line 8 + line 9).
   count_t UpdateAndEstimate(item_t key, delta_t delta);
+
+  /// Issues software prefetches for the w cells `key` hashes to. An
+  /// update touches one cell per row, w dependent random accesses — the
+  /// cost the paper's pre-filter exists to avoid (§6.1); prefetching the
+  /// next tuples' rows while the current one is processed hides it on
+  /// the batch path.
+  void Prefetch(item_t key) const {
+    for (uint32_t row = 0; row < config_.width; ++row) {
+      __builtin_prefetch(&Cell(row, hashes_.Bucket(row, key)), 1, 3);
+    }
+  }
+
+  /// Sketches at or below this footprint are effectively cache-resident
+  /// on any modern core (the paper's default budget is 128 KB, well
+  /// inside an L2): their cells come back in a few cycles anyway, and
+  /// issuing w prefetch instructions per miss is pure overhead. The
+  /// prepared-batch path only prefetches above this size.
+  static constexpr size_t kPrefetchMinBytes = size_t{2} << 20;
+
+  /// Prefetch that also records the bucket `key` hashes to in every row
+  /// into buckets[0..width()). The Carter–Wegman hash is the expensive
+  /// half of an update (a 128-bit multiply plus a division per row), so
+  /// batched callers hash once here and replay via UpdateAt /
+  /// UpdateAndEstimateAt (with stride 1) instead of paying it twice. The
+  /// indices depend only on the hash seeds and stay valid for the
+  /// sketch's lifetime.
+  void PrepareUpdate(item_t key, uint32_t* buckets) const {
+    for (uint32_t row = 0; row < config_.width; ++row) {
+      buckets[row] = hashes_.Bucket(row, key);
+      __builtin_prefetch(&Cell(row, buckets[row]), 1, 3);
+    }
+  }
+
+  /// PrepareUpdate for `count` keys at once, row-major:
+  /// buckets[row*count + k] receives the bucket of keys[k] in `row`
+  /// (pass `count` as the stride to UpdateAt / UpdateAndEstimateAt and
+  /// &buckets[k] as the base). Hashing is vectorized across the keys
+  /// (HashFamily::BucketsForKeys), which is where the batched ingestion
+  /// path gets most of its speedup — the Carter–Wegman evaluation
+  /// dominates an update and the vector kernel amortizes it over eight
+  /// keys. Cells are software-prefetched only for sketches too large to
+  /// sit in cache (see kPrefetchMinBytes).
+  void PrepareUpdateBatch(const item_t* keys, size_t count,
+                          uint32_t* buckets) const {
+    hashes_.BucketsForKeys(keys, count, buckets, count);
+    if (MemoryUsageBytes() > kPrefetchMinBytes) {
+      for (uint32_t row = 0; row < config_.width; ++row) {
+        for (size_t k = 0; k < count; ++k) {
+          __builtin_prefetch(&Cell(row, buckets[row * count + k]), 1, 3);
+        }
+      }
+    }
+  }
+
+  /// Update(key, delta) where `buckets` points at the key's column of a
+  /// PrepareUpdate/PrepareUpdateBatch result: row r's bucket is
+  /// buckets[r*stride]. Bit-identical effect, no second hash pass.
+  void UpdateAt(const uint32_t* buckets, delta_t delta, size_t stride = 1);
+
+  /// UpdateAndEstimate(key, delta) through prepared buckets.
+  count_t UpdateAndEstimateAt(const uint32_t* buckets, delta_t delta,
+                              size_t stride = 1);
+
+  /// Applies the tuples in order (bit-identical to the equivalent
+  /// sequence of Update calls), prefetching a few tuples ahead.
+  void UpdateBatch(std::span<const Tuple> tuples);
 
   /// Clears all cells; hash functions are kept.
   void Reset();

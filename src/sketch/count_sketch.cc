@@ -57,6 +57,17 @@ count_t MedianEstimate(int32_t* readings, uint32_t w) {
 
 }  // namespace
 
+void CountSketch::UpdateBatch(std::span<const Tuple> tuples) {
+  constexpr size_t kPrefetchTuples = 4;
+  const size_t n = tuples.size();
+  const size_t warm = std::min(kPrefetchTuples, n);
+  for (size_t i = 0; i < warm; ++i) Prefetch(tuples[i].key);
+  for (size_t i = 0; i < n; ++i) {
+    if (i + kPrefetchTuples < n) Prefetch(tuples[i + kPrefetchTuples].key);
+    Update(tuples[i].key, static_cast<delta_t>(tuples[i].value));
+  }
+}
+
 count_t CountSketch::Estimate(item_t key) const {
   int32_t readings[64] = {};
   ASKETCH_DCHECK(config_.width <= 64);

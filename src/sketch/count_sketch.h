@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,18 @@ class CountSketch {
 
   /// Fused Update + Estimate with a single round of hashing.
   count_t UpdateAndEstimate(item_t key, delta_t delta);
+
+  /// Issues software prefetches for the cells `key` hashes to (one per
+  /// row), hiding the w random accesses on the batch path.
+  void Prefetch(item_t key) const {
+    for (uint32_t row = 0; row < config_.width; ++row) {
+      __builtin_prefetch(&Cell(row, hashes_.Bucket(row, key)), 1, 3);
+    }
+  }
+
+  /// Applies the tuples in order (bit-identical to the equivalent
+  /// sequence of Update calls), prefetching a few tuples ahead.
+  void UpdateBatch(std::span<const Tuple> tuples);
 
   void Reset();
 

@@ -124,6 +124,17 @@ count_t Fcm::UpdateAndEstimate(item_t key, delta_t delta) {
   return est;
 }
 
+void Fcm::UpdateBatch(std::span<const Tuple> tuples) {
+  constexpr size_t kPrefetchTuples = 4;
+  const size_t n = tuples.size();
+  const size_t warm = std::min(kPrefetchTuples, n);
+  for (size_t i = 0; i < warm; ++i) Prefetch(tuples[i].key);
+  for (size_t i = 0; i < n; ++i) {
+    if (i + kPrefetchTuples < n) Prefetch(tuples[i + kPrefetchTuples].key);
+    Update(tuples[i].key, static_cast<delta_t>(tuples[i].value));
+  }
+}
+
 count_t Fcm::Estimate(item_t key) const {
   const uint32_t rows = IsHot(key) ? hot_rows_ : cold_rows_;
   uint32_t offset, gap;

@@ -20,6 +20,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -70,6 +71,23 @@ class Fcm {
   /// Fused Update + Estimate with a single round of hashing (the ASketch
   /// miss path). Equivalent to Update(key, delta); Estimate(key).
   count_t UpdateAndEstimate(item_t key, delta_t delta);
+
+  /// Issues software prefetches for the cells `key` can hash to. The cold
+  /// row subset is prefetched unconditionally — the hot subset is a
+  /// prefix of the same row sequence, so this covers both
+  /// classifications without consulting the MG counter.
+  void Prefetch(item_t key) const {
+    uint32_t offset, gap;
+    OffsetGap(key, &offset, &gap);
+    for (uint32_t i = 0; i < cold_rows_; ++i) {
+      const uint32_t row = RowAt(offset, gap, i);
+      __builtin_prefetch(&Cell(row, hashes_.Bucket(row, key)), 1, 3);
+    }
+  }
+
+  /// Applies the tuples in order (bit-identical to the equivalent
+  /// sequence of Update calls), prefetching a few tuples ahead.
+  void UpdateBatch(std::span<const Tuple> tuples);
 
   void Reset();
 

@@ -1,5 +1,6 @@
 #include "src/workload/dataset_io.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
@@ -63,6 +64,50 @@ std::optional<std::string> ReadStreamFile(const std::string& path,
     stream->clear();
     return "short read (tuples): " + path;
   }
+  return std::nullopt;
+}
+
+StreamFileReader::~StreamFileReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+std::optional<std::string> StreamFileReader::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return "cannot open for reading: " + path;
+  FileHeader header;
+  if (std::fread(&header, sizeof(header), 1, file) != 1) {
+    std::fclose(file);
+    return "short read (header): " + path;
+  }
+  if (header.magic != kMagic) {
+    std::fclose(file);
+    return "bad magic in " + path;
+  }
+  if (header.version != kVersion) {
+    std::fclose(file);
+    return "unsupported version in " + path;
+  }
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = file;
+  path_ = path;
+  total_ = header.num_tuples;
+  remaining_ = header.num_tuples;
+  return std::nullopt;
+}
+
+std::optional<std::string> StreamFileReader::ReadBlock(
+    size_t max_tuples, std::vector<Tuple>* block) {
+  block->clear();
+  if (file_ == nullptr) return std::string("StreamFileReader not opened");
+  const size_t want = static_cast<size_t>(
+      std::min<uint64_t>(max_tuples, remaining_));
+  if (want == 0) return std::nullopt;
+  block->resize(want);
+  if (std::fread(block->data(), sizeof(Tuple), want, file_) != want) {
+    block->clear();
+    return "short read (tuples): " + path_;
+  }
+  remaining_ -= want;
   return std::nullopt;
 }
 

@@ -8,6 +8,8 @@
 #ifndef ASKETCH_WORKLOAD_DATASET_IO_H_
 #define ASKETCH_WORKLOAD_DATASET_IO_H_
 
+#include <cstdint>
+#include <cstdio>
 #include <optional>
 #include <string>
 #include <vector>
@@ -24,6 +26,40 @@ std::optional<std::string> WriteStreamFile(const std::string& path,
 /// returns an error message and leaves `stream` empty.
 std::optional<std::string> ReadStreamFile(const std::string& path,
                                           std::vector<Tuple>* stream);
+
+/// Incremental reader for stream files: validates the header once, then
+/// hands the tuples out in caller-sized blocks. Lets consumers (the CLI's
+/// batched build path) ingest traces much larger than memory instead of
+/// materializing the whole stream up front.
+class StreamFileReader {
+ public:
+  StreamFileReader() = default;
+  ~StreamFileReader();
+
+  StreamFileReader(const StreamFileReader&) = delete;
+  StreamFileReader& operator=(const StreamFileReader&) = delete;
+
+  /// Opens `path` and reads the header. Returns an error message on
+  /// failure (the reader stays unopened).
+  std::optional<std::string> Open(const std::string& path);
+
+  /// Tuples declared by the header of the opened file.
+  uint64_t num_tuples() const { return total_; }
+  /// Tuples not yet returned by ReadBlock.
+  uint64_t remaining() const { return remaining_; }
+
+  /// Replaces `block` with the next min(max_tuples, remaining()) tuples.
+  /// An empty block signals end of stream. Returns an error message on a
+  /// short read (the file promised more tuples than it holds).
+  std::optional<std::string> ReadBlock(size_t max_tuples,
+                                       std::vector<Tuple>* block);
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t total_ = 0;
+  uint64_t remaining_ = 0;
+};
 
 }  // namespace asketch
 

@@ -64,6 +64,67 @@ TEST(ASketchDeletionTest, UnmonitoredKeyDeletesDirectlyInSketch) {
   EXPECT_EQ(as.Estimate(1), 4u);
 }
 
+TEST(ASketchDeletionTest, FilterAbsorbedDeletionAdjustsFilteredWeight) {
+  auto as = MakeASketchCountMin<RelaxedHeapFilter>(SmallConfig());
+  as.Update(1, 10);  // filter-resident: filtered_weight = 10
+  ASSERT_EQ(as.stats().filtered_weight, 10u);
+  as.Update(1, -4);
+  EXPECT_EQ(as.stats().filtered_weight, 6u);
+  EXPECT_EQ(as.stats().sketch_weight, 0u);
+}
+
+TEST(ASketchDeletionTest, UnmonitoredDeletionAdjustsSketchWeight) {
+  auto as = MakeASketchCountMin<RelaxedHeapFilter>(SmallConfig());
+  for (item_t key = 100; key < 108; ++key) as.Update(key, 100);
+  as.Update(1, 6);  // goes to the sketch: sketch_weight = 6
+  ASSERT_EQ(as.stats().sketch_weight, 6u);
+  const wide_count_t filtered = as.stats().filtered_weight;
+  as.Update(1, -2);
+  EXPECT_EQ(as.stats().sketch_weight, 4u);
+  EXPECT_EQ(as.stats().filtered_weight, filtered);
+}
+
+TEST(ASketchDeletionTest, SplitDeletionAdjustsBothWeights) {
+  auto as = MakeASketchCountMin<RelaxedHeapFilter>(SmallConfig());
+  for (item_t key = 100; key < 108; ++key) as.Update(key, 10);
+  as.Update(1, 20);  // sketch insert, then exchanged into the filter
+  ASSERT_GE(as.filter().Find(1), 0);
+  as.Update(1, 5);  // filter hit: slack = 5
+  const wide_count_t filtered = as.stats().filtered_weight;
+  const wide_count_t sketched = as.stats().sketch_weight;
+  // Delete 8: slack of 5 comes out of filtered_weight, residual 3 out of
+  // sketch_weight.
+  as.Update(1, -8);
+  EXPECT_EQ(as.stats().filtered_weight, filtered - 5u);
+  EXPECT_EQ(as.stats().sketch_weight, sketched - 3u);
+}
+
+TEST(ASketchDeletionTest, OverDeletionClampsWeightsAtZero) {
+  auto as = MakeASketchCountMin<RelaxedHeapFilter>(SmallConfig());
+  for (item_t key = 100; key < 108; ++key) as.Update(key, 100);
+  as.Update(1, 3);  // sketch-resident, sketch_weight grows by 3
+  // Delete more than was ever inserted (legal against the sketch as long
+  // as the caller accepts the estimate noise): stats must floor at the
+  // pre-insert level, not wrap around.
+  as.Update(1, -1000);
+  EXPECT_LE(as.stats().sketch_weight, 800u);  // 8*100 from the fill keys
+  EXPECT_LT(as.stats().sketch_weight,
+            wide_count_t{1} << 63);  // no unsigned wraparound
+}
+
+TEST(ASketchDeletionTest, InsertDeleteRoundTripRestoresWeights) {
+  auto as = MakeASketchCountMin<RelaxedHeapFilter>(SmallConfig());
+  for (item_t key = 100; key < 108; ++key) as.Update(key, 10);
+  const wide_count_t filtered = as.stats().filtered_weight;
+  const wide_count_t sketched = as.stats().sketch_weight;
+  as.Update(200, 7);
+  as.Update(100, 4);
+  as.Update(200, -7);
+  as.Update(100, -4);
+  EXPECT_EQ(as.stats().filtered_weight, filtered);
+  EXPECT_EQ(as.stats().sketch_weight, sketched);
+}
+
 TEST(ASketchDeletionTest, NoExchangeOnNegativeUpdates) {
   auto as = MakeASketchCountMin<RelaxedHeapFilter>(SmallConfig());
   for (item_t key = 100; key < 108; ++key) as.Update(key, 10);

@@ -109,8 +109,37 @@ TEST(WindowedASketchTest, WeightedUpdatesCountTowardRotation) {
   WindowedASketch window(100, SmallConfig());
   window.Update(1, 60);
   EXPECT_EQ(window.rotations(), 0u);
-  window.Update(2, 60);  // fill reaches 120 >= 100
+  window.Update(2, 60);  // 40 close out the epoch, 20 start the next
   EXPECT_EQ(window.rotations(), 1u);
+  EXPECT_EQ(window.current_epoch_fill(), 20u);
+}
+
+TEST(WindowedASketchTest, WeightSpanningMultipleWindowsRotatesEachBoundary) {
+  WindowedASketch window(100, SmallConfig());
+  window.Update(1, 350);  // crosses epoch boundaries at 100, 200, 300
+  EXPECT_EQ(window.rotations(), 3u);
+  EXPECT_EQ(window.current_epoch_fill(), 50u);
+  // Covered span = previous full epoch (100) + current partial (50); the
+  // first 200 arrivals expired with their epochs. Key 1 is
+  // filter-resident in both live epochs, so the estimate is exact.
+  EXPECT_EQ(window.Estimate(1), 150u);
+}
+
+TEST(WindowedASketchTest, OverflowWeightLandsInTheNewEpoch) {
+  WindowedASketch window(100, SmallConfig());
+  window.Update(1, 90);
+  window.Update(2, 30);  // 10 close out the epoch, 20 land in the new one
+  EXPECT_EQ(window.rotations(), 1u);
+  EXPECT_EQ(window.current_epoch_fill(), 20u);
+  window.Update(3, 80);  // fills the epoch exactly: rotate again
+  EXPECT_EQ(window.rotations(), 2u);
+  EXPECT_EQ(window.current_epoch_fill(), 0u);
+  // The epoch holding {1:90, 2:10} expired; the previous epoch holds
+  // {2:20, 3:80} and the current epoch is empty. Both keys sit in the
+  // previous epoch's filter, so their windowed estimates are exact.
+  EXPECT_EQ(window.Estimate(2), 20u);
+  EXPECT_EQ(window.Estimate(3), 80u);
+  EXPECT_EQ(window.Estimate(1), 0u);
 }
 
 TEST(WindowedASketchTest, ResetClearsAllEpochs) {
