@@ -1,0 +1,121 @@
+// Micro-benchmarks (google-benchmark): checkpoint cost for a 128 KB
+// ASketch — envelope encode (serialize + CRC32C), decode/validate, the
+// raw CRC32C scan, and a full durable SnapshotStore::Save/Load round
+// trip through the filesystem. Answers "what does a checkpoint interval
+// of N tuples cost the ingest path?".
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/common/crc32c.h"
+#include "src/common/snapshot.h"
+#include "src/core/asketch.h"
+#include "src/workload/stream_generator.h"
+
+namespace asketch {
+namespace {
+
+constexpr size_t kBudget = 128 * 1024;
+
+ASketch<RelaxedHeapFilter, CountMin> WarmSketch() {
+  ASketchConfig config;
+  config.total_bytes = kBudget;
+  config.width = 8;
+  config.filter_items = 32;
+  config.seed = 7;
+  auto sketch = MakeASketchCountMin<RelaxedHeapFilter>(config);
+  StreamSpec spec;
+  spec.stream_size = 1 << 20;
+  spec.num_distinct = 1 << 16;
+  spec.skew = 1.2;
+  spec.seed = 3;
+  for (const Tuple& t : GenerateStream(spec)) {
+    sketch.Update(t.key, t.value);
+  }
+  return sketch;
+}
+
+void BM_SnapshotEncode(benchmark::State& state) {
+  const auto sketch = WarmSketch();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ToSnapshot(sketch));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(ToSnapshot(sketch).size()));
+}
+BENCHMARK(BM_SnapshotEncode);
+
+void BM_SnapshotDecode(benchmark::State& state) {
+  const auto sketch = WarmSketch();
+  const std::vector<uint8_t> blob = ToSnapshot(sketch);
+  using Summary = ASketch<RelaxedHeapFilter, CountMin>;
+  for (auto _ : state) {
+    auto restored = FromSnapshot<Summary>(blob.data(), blob.size());
+    benchmark::DoNotOptimize(restored);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(blob.size()));
+}
+BENCHMARK(BM_SnapshotDecode);
+
+void BM_Crc32c(benchmark::State& state) {
+  const std::vector<uint8_t> blob = ToSnapshot(WarmSketch());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(blob.data(), blob.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(blob.size()));
+}
+BENCHMARK(BM_Crc32c);
+
+void BM_SnapshotStoreSave(benchmark::State& state) {
+  using Summary = ASketch<RelaxedHeapFilter, CountMin>;
+  const auto sketch = WarmSketch();
+  BinaryWriter writer;
+  sketch.SerializeTo(writer);
+  const std::vector<uint8_t>& payload = writer.buffer();
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "asketch_bench_ckpt";
+  fs::create_directories(dir);
+  SnapshotStore store((dir / "bench").string(), /*retain=*/2);
+  for (auto _ : state) {
+    auto err = store.Save(Summary::kSnapshotPayloadType, payload);
+    benchmark::DoNotOptimize(err);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload.size()));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_SnapshotStoreSave);
+
+void BM_SnapshotStoreLoad(benchmark::State& state) {
+  using Summary = ASketch<RelaxedHeapFilter, CountMin>;
+  const auto sketch = WarmSketch();
+  BinaryWriter writer;
+  sketch.SerializeTo(writer);
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "asketch_bench_ckpt";
+  fs::create_directories(dir);
+  SnapshotStore store((dir / "bench").string(), /*retain=*/2);
+  store.Save(Summary::kSnapshotPayloadType, writer.buffer());
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    auto loaded = store.Load(Summary::kSnapshotPayloadType);
+    benchmark::DoNotOptimize(loaded);
+    if (loaded.has_value()) {
+      bytes += static_cast<int64_t>(loaded->payload.size());
+    }
+  }
+  state.SetBytesProcessed(bytes);
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_SnapshotStoreLoad);
+
+}  // namespace
+}  // namespace asketch
+
+BENCHMARK_MAIN();

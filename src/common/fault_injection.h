@@ -1,0 +1,121 @@
+// Deterministic fault injection for the snapshot I/O path.
+//
+// Every recovery branch of SnapshotStore — short write, fwrite error,
+// fsync failure, crash between temp-file write and rename, bit rot on
+// the way to the medium — must be exercised reproducibly, not hoped
+// for. FaultInjectingIo produces a SnapshotIoHooks whose behavior is
+// fully determined by the faults armed on it: tests arm exactly one
+// fault (or a seeded schedule of them), run the save/recover cycle, and
+// assert the outcome. No randomness lives here; tests that want random
+// offsets draw them from a seeded Rng and arm them explicitly, so every
+// failure is replayable from the seed.
+//
+// Write calls are counted across the shim's lifetime (writes_seen()),
+// letting tests target "the Nth fwrite of the run" — SnapshotStore
+// issues one write per envelope, so call index == snapshot index.
+
+#ifndef ASKETCH_COMMON_FAULT_INJECTION_H_
+#define ASKETCH_COMMON_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "src/common/snapshot.h"
+
+namespace asketch {
+
+/// Fault-point shim for SnapshotIoHooks. Arm* methods schedule faults;
+/// Hooks() returns hooks bound to this object (which must outlive them).
+class FaultInjectingIo {
+ public:
+  FaultInjectingIo() = default;
+
+  /// The `index`-th write call (0-based) reports only half the bytes
+  /// written (a short write, as on a full disk).
+  void ArmShortWriteAt(uint64_t index) { short_write_at_ = index; }
+
+  /// The `index`-th write call fails outright (0 bytes written).
+  void ArmWriteErrorAt(uint64_t index) { write_error_at_ = index; }
+
+  /// The `index`-th sync (fflush/fsync) call fails.
+  void ArmSyncErrorAt(uint64_t index) { sync_error_at_ = index; }
+
+  /// Flips bit `bit` (0-7) of byte `byte_offset` within the buffer of
+  /// the `index`-th write call before it reaches the file — media
+  /// corruption that the envelope checksum must catch at load time.
+  void ArmBitFlip(uint64_t index, uint64_t byte_offset, uint32_t bit) {
+    bit_flips_.push_back(BitFlip{index, byte_offset, bit});
+  }
+
+  /// The `index`-th commit (rename) "crashes": the temp file is left on
+  /// disk, written and synced, but never published — the state a real
+  /// kill-9 between fsync and rename leaves behind.
+  void ArmCommitCrashAt(uint64_t index) { commit_crash_at_ = index; }
+
+  uint64_t writes_seen() const { return writes_; }
+  uint64_t commits_seen() const { return commits_; }
+
+  SnapshotIoHooks Hooks() {
+    SnapshotIoHooks hooks;
+    hooks.write = [this](const void* data, size_t size, std::FILE* file) {
+      return Write(data, size, file);
+    };
+    hooks.sync = [this](std::FILE* file) { return Sync(file); };
+    hooks.commit = [this](const std::string& tmp, const std::string& final_path) {
+      return Commit(tmp, final_path);
+    };
+    return hooks;
+  }
+
+ private:
+  struct BitFlip {
+    uint64_t write_index;
+    uint64_t byte_offset;
+    uint32_t bit;
+  };
+
+  size_t Write(const void* data, size_t size, std::FILE* file) {
+    const uint64_t index = writes_++;
+    if (index == write_error_at_) return 0;
+    if (index == short_write_at_) {
+      return std::fwrite(data, 1, size / 2, file);
+    }
+    std::vector<uint8_t> buffer(static_cast<const uint8_t*>(data),
+                                static_cast<const uint8_t*>(data) + size);
+    for (const BitFlip& flip : bit_flips_) {
+      if (flip.write_index == index && flip.byte_offset < buffer.size()) {
+        buffer[flip.byte_offset] ^=
+            static_cast<uint8_t>(1u << (flip.bit & 7u));
+      }
+    }
+    return std::fwrite(buffer.data(), 1, buffer.size(), file);
+  }
+
+  bool Sync(std::FILE* file) {
+    const uint64_t index = syncs_++;
+    if (index == sync_error_at_) return false;
+    return std::fflush(file) == 0;  // kernel-level sync skipped in tests
+  }
+
+  bool Commit(const std::string& tmp, const std::string& final_path) {
+    const uint64_t index = commits_++;
+    if (index == commit_crash_at_) return false;
+    return std::rename(tmp.c_str(), final_path.c_str()) == 0;
+  }
+
+  static constexpr uint64_t kNever = ~uint64_t{0};
+
+  uint64_t writes_ = 0;
+  uint64_t syncs_ = 0;
+  uint64_t commits_ = 0;
+  uint64_t short_write_at_ = kNever;
+  uint64_t write_error_at_ = kNever;
+  uint64_t sync_error_at_ = kNever;
+  uint64_t commit_crash_at_ = kNever;
+  std::vector<BitFlip> bit_flips_;
+};
+
+}  // namespace asketch
+
+#endif  // ASKETCH_COMMON_FAULT_INJECTION_H_

@@ -26,6 +26,18 @@
 
 namespace asketch {
 
+/// Upper bound a deserializer accepts for a serialized capacity field
+/// before allocating. Real summaries hold tens to thousands of monitored
+/// items; a corrupt capacity (e.g. a flipped high bit) must be rejected
+/// before the constructor zero-fills gigabytes.
+inline constexpr uint32_t kMaxSerializedCapacity = 1u << 20;
+
+/// Upper bound a deserializer accepts for a serialized byte-budget field
+/// (e.g. a config's total_bytes) before constructing the summary. Same
+/// rationale as kMaxSerializedCapacity: a single flipped high bit in a
+/// u64 budget must not translate into a multi-gigabyte allocation.
+inline constexpr uint64_t kMaxSerializedBytes = uint64_t{1} << 28;
+
 /// Appends little-endian primitives to an in-memory buffer or a FILE*.
 class BinaryWriter {
  public:
@@ -44,9 +56,10 @@ class BinaryWriter {
     if (!ok_) return;
     if (file_ != nullptr) {
       ok_ = std::fwrite(data, 1, size, file_) == size;
-    } else {
-      const auto* bytes = static_cast<const uint8_t*>(data);
-      buffer_.insert(buffer_.end(), bytes, bytes + size);
+    } else if (size > 0) {
+      const size_t offset = buffer_.size();
+      buffer_.resize(offset + size);
+      std::memcpy(buffer_.data() + offset, data, size);
     }
   }
 
@@ -58,6 +71,9 @@ class BinaryWriter {
       PutBytes(values.data(), values.size() * sizeof(T));
     }
   }
+
+  /// Pre-sizes the in-memory buffer (no-op in FILE* mode).
+  void Reserve(size_t total_bytes) { buffer_.reserve(total_bytes); }
 
   /// False once any write failed (FILE* mode only).
   bool ok() const { return ok_; }
@@ -102,14 +118,24 @@ class BinaryReader {
   }
 
   /// Reads a vector written by PutPodVector; rejects element counts that
-  /// would exceed `max_elements` (corruption guard).
+  /// would exceed `max_elements` (corruption guard). In in-memory mode
+  /// the count is additionally clamped against the bytes actually
+  /// remaining, so a corrupt length field never allocates at all; in
+  /// FILE* mode (where the remaining size is unknown) the default bound
+  /// caps the damage at max_elements * sizeof(T) before the short read
+  /// fails. Callers with genuinely larger vectors pass an explicit bound.
   template <typename T>
   bool GetPodVector(std::vector<T>* values,
-                    uint64_t max_elements = uint64_t{1} << 32) {
+                    uint64_t max_elements = uint64_t{1} << 28) {
     static_assert(std::is_trivially_copyable_v<T>);
     uint64_t count = 0;
     if (!GetU64(&count)) return false;
     if (count > max_elements) {
+      ok_ = false;
+      return false;
+    }
+    // count <= max_elements, so count * sizeof(T) cannot overflow here.
+    if (file_ == nullptr && count * sizeof(T) > size_ - position_) {
       ok_ = false;
       return false;
     }

@@ -1,0 +1,230 @@
+#include "src/common/snapshot.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "src/common/crc32c.h"
+
+namespace asketch {
+namespace {
+
+namespace fs = std::filesystem;
+
+size_t DefaultWrite(const void* data, size_t size, std::FILE* file) {
+  return std::fwrite(data, 1, size, file);
+}
+
+bool DefaultSync(std::FILE* file) {
+  if (std::fflush(file) != 0) return false;
+#if defined(__unix__) || defined(__APPLE__)
+  if (::fsync(::fileno(file)) != 0) return false;
+#endif
+  return true;
+}
+
+bool DefaultCommit(const std::string& tmp_path,
+                   const std::string& final_path) {
+  return std::rename(tmp_path.c_str(), final_path.c_str()) == 0;
+}
+
+size_t DoWrite(const SnapshotIoHooks& hooks, const void* data, size_t size,
+               std::FILE* file) {
+  return hooks.write ? hooks.write(data, size, file)
+                     : DefaultWrite(data, size, file);
+}
+
+bool DoSync(const SnapshotIoHooks& hooks, std::FILE* file) {
+  return hooks.sync ? hooks.sync(file) : DefaultSync(file);
+}
+
+bool DoCommit(const SnapshotIoHooks& hooks, const std::string& tmp_path,
+              const std::string& final_path) {
+  return hooks.commit ? hooks.commit(tmp_path, final_path)
+                      : DefaultCommit(tmp_path, final_path);
+}
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+std::vector<uint8_t> WrapSnapshot(uint32_t payload_type,
+                                  const std::vector<uint8_t>& payload) {
+  BinaryWriter writer;
+  writer.Reserve(kSnapshotHeaderBytes + payload.size());
+  writer.PutU32(kSnapshotMagic);
+  writer.PutU32(kSnapshotFormatVersion);
+  writer.PutU32(payload_type);
+  writer.PutU64(payload.size());
+  writer.PutU32(Crc32c(payload.data(), payload.size()));
+  writer.PutBytes(payload.data(), payload.size());
+  return writer.buffer();
+}
+
+std::optional<std::vector<uint8_t>> UnwrapSnapshot(const void* data,
+                                                   size_t size,
+                                                   uint32_t expected_type) {
+  BinaryReader reader(data, size);
+  uint32_t magic = 0, version = 0, type = 0, crc = 0;
+  uint64_t length = 0;
+  if (!reader.GetU32(&magic) || magic != kSnapshotMagic) return std::nullopt;
+  if (!reader.GetU32(&version) || version != kSnapshotFormatVersion) {
+    return std::nullopt;
+  }
+  if (!reader.GetU32(&type) || type != expected_type) return std::nullopt;
+  if (!reader.GetU64(&length) || !reader.GetU32(&crc)) return std::nullopt;
+  // The length must match the bytes present exactly: a flipped length bit
+  // shows up as either a short read or trailing garbage, both rejected.
+  if (length != size - kSnapshotHeaderBytes) return std::nullopt;
+  std::vector<uint8_t> payload(length);
+  if (length > 0 && !reader.GetBytes(payload.data(), length)) {
+    return std::nullopt;
+  }
+  if (Crc32c(payload.data(), payload.size()) != crc) return std::nullopt;
+  return payload;
+}
+
+std::optional<std::string> WriteFileAtomic(const std::string& path,
+                                           const std::vector<uint8_t>& bytes,
+                                           const SnapshotIoHooks& hooks) {
+  const std::string tmp_path = path + ".tmp";
+  std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
+  if (file == nullptr) return ErrnoMessage("cannot open", tmp_path);
+  const bool written =
+      DoWrite(hooks, bytes.data(), bytes.size(), file) == bytes.size();
+  const bool synced = written && DoSync(hooks, file);
+  const bool closed = std::fclose(file) == 0;
+  if (!written || !synced || !closed) {
+    std::remove(tmp_path.c_str());
+    return "write failed: " + tmp_path;
+  }
+  if (!DoCommit(hooks, tmp_path, path)) {
+    // Simulated-crash hooks intentionally leave the temp file behind (a
+    // real crash would); only a real rename failure cleans it up.
+    return "rename failed: " + tmp_path + " -> " + path;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return std::nullopt;
+  std::vector<uint8_t> bytes;
+  uint8_t chunk[64 * 1024];
+  size_t got;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + got);
+  }
+  const bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) return std::nullopt;
+  return bytes;
+}
+
+SnapshotStore::SnapshotStore(std::string prefix, uint32_t retain,
+                             SnapshotIoHooks hooks)
+    : prefix_(std::move(prefix)),
+      retain_(retain < 1 ? 1 : retain),
+      hooks_(std::move(hooks)) {}
+
+std::string SnapshotStore::GenerationPath(uint64_t gen) const {
+  return prefix_ + "." + std::to_string(gen) + ".snap";
+}
+
+std::vector<uint64_t> SnapshotStore::ListGenerations() const {
+  // Generations are discovered by listing the prefix's directory for
+  // `<base>.<digits>.snap` — no manifest file exists that could itself be
+  // corrupted or torn.
+  const fs::path prefix_path(prefix_);
+  fs::path dir = prefix_path.parent_path();
+  if (dir.empty()) dir = ".";
+  const std::string base = prefix_path.filename().string() + ".";
+  std::vector<uint64_t> generations;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= base.size() + 5 || name.compare(0, base.size(), base) != 0 ||
+        name.compare(name.size() - 5, 5, ".snap") != 0) {
+      continue;
+    }
+    const std::string digits =
+        name.substr(base.size(), name.size() - base.size() - 5);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const uint64_t gen = std::strtoull(digits.c_str(), &end, 10);
+    if (errno != 0 || end == nullptr || *end != '\0' || gen == 0) continue;
+    generations.push_back(gen);
+  }
+  std::sort(generations.begin(), generations.end());
+  return generations;
+}
+
+uint64_t SnapshotStore::LatestGeneration() const {
+  const std::vector<uint64_t> generations = ListGenerations();
+  return generations.empty() ? 0 : generations.back();
+}
+
+std::optional<std::string> SnapshotStore::Save(
+    uint32_t payload_type, const std::vector<uint8_t>& payload) {
+  const fs::path dir = fs::path(prefix_).parent_path();
+  if (!dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(dir, ec);  // surfaced by the write below
+  }
+  const uint64_t gen = LatestGeneration() + 1;
+  const std::vector<uint8_t> envelope = WrapSnapshot(payload_type, payload);
+  if (auto error =
+          WriteFileAtomic(GenerationPath(gen), envelope, hooks_)) {
+    return error;
+  }
+  // Prune only after the new generation is durably in place, oldest
+  // first, so a crash during pruning still leaves >= retain generations.
+  std::vector<uint64_t> generations = ListGenerations();
+  while (generations.size() > retain_) {
+    std::remove(GenerationPath(generations.front()).c_str());
+    generations.erase(generations.begin());
+  }
+  return std::nullopt;
+}
+
+std::optional<SnapshotStore::Loaded> SnapshotStore::Load(
+    uint32_t expected_type, std::string* error) const {
+  const std::vector<uint64_t> generations = ListGenerations();
+  if (generations.empty()) {
+    if (error != nullptr) *error = "no snapshots under " + prefix_;
+    return std::nullopt;
+  }
+  uint32_t skipped = 0;
+  for (auto it = generations.rbegin(); it != generations.rend(); ++it) {
+    const std::string path = GenerationPath(*it);
+    const auto bytes = ReadFileBytes(path);
+    if (bytes.has_value()) {
+      auto payload = UnwrapSnapshot(bytes->data(), bytes->size(),
+                                    expected_type);
+      if (payload.has_value()) {
+        return Loaded{*std::move(payload), *it, skipped};
+      }
+    }
+    ++skipped;
+  }
+  if (error != nullptr) {
+    *error = "all " + std::to_string(generations.size()) +
+             " snapshot generations under " + prefix_ +
+             " are unreadable or corrupt";
+  }
+  return std::nullopt;
+}
+
+}  // namespace asketch

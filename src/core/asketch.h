@@ -344,6 +344,13 @@ class ASketch {
     return result;
   }
 
+  /// Snapshot-envelope payload tag, composed from the component tags so
+  /// every Filter/Sketch combination gets a distinct tag (registry:
+  /// src/common/snapshot.h).
+  static constexpr uint32_t kSnapshotPayloadType =
+      0x41000000u | (FilterT::kSnapshotPayloadType << 8) |
+      SketchT::kSnapshotPayloadType;
+
   const ASketchStats& stats() const { return stats_; }
   FilterT& filter() { return filter_; }
   const FilterT& filter() const { return filter_; }

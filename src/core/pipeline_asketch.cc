@@ -1,18 +1,22 @@
 #include "src/core/pipeline_asketch.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace asketch {
 
 PipelineASketch::PipelineASketch(const ASketchConfig& config,
-                                 size_t queue_capacity)
+                                 size_t queue_capacity,
+                                 PipelineOverloadOptions overload)
     : filter_(config.filter_items),
       sketch_(CountMinConfig::FromSpaceBudget(
           internal::SketchBudgetBytes<RelaxedHeapFilter>(config),
           config.width, config.seed)),
       forward_(queue_capacity),
-      reverse_(queue_capacity) {
+      reverse_(queue_capacity),
+      overload_(overload) {
   ASKETCH_CHECK(!config.Validate().has_value());
+  ASKETCH_CHECK(overload_.max_push_spins >= 1);
   worker_ = std::thread([this] { SketchStageMain(); });
 }
 
@@ -21,18 +25,23 @@ PipelineASketch::~PipelineASketch() {
   worker_.join();
 }
 
-void PipelineASketch::PushForward(const ForwardMsg& msg) {
-  while (!forward_.TryPush(msg)) {
-    // Backpressure: the filter stage briefly helps by draining reverse
-    // messages so neither side can deadlock on two full queues.
-    DrainReverseQueue();
-  }
-  ++produced_;
-}
-
-bool PipelineASketch::PushForwardUpdate(item_t key, count_t weight) {
-  ForwardMsg msg{ForwardKind::kUpdate, key, weight};
-  while (!forward_.TryPush(msg)) {
+PipelineASketch::PushResult PipelineASketch::PushForwardUpdate(
+    item_t key, count_t weight) {
+  const ForwardMsg msg{ForwardKind::kUpdate, key, weight};
+  uint32_t spins = 0;
+  while (true) {
+    if (worker_dead_.load(std::memory_order_acquire)) {
+      OnWorkerDeath();
+      ApplyOverload(key, weight);
+      return PushResult::kOverload;
+    }
+    if (forward_.TryPush(msg)) {
+      ++produced_;
+      return PushResult::kQueued;
+    }
+    ++stats_.forward_full_spins;
+    // Backpressure: briefly help by draining reverse messages so neither
+    // side can deadlock on two full queues.
     DrainReverseQueue();
     // The drain may have accepted an exchange for this very key. If the
     // key is now filter-resident, pushing the update anyway would place
@@ -44,15 +53,99 @@ bool PipelineASketch::PushForwardUpdate(item_t key, count_t weight) {
       const bool was_min = filter_.NewCount(slot) == filter_.MinNewCount();
       filter_.AddToNewCount(slot, static_cast<delta_t>(weight));
       if (was_min) PublishMin();
-      return false;
+      return PushResult::kAbsorbed;
+    }
+    if (++spins >= overload_.max_push_spins) {
+      // No drain runs between the Find above and ApplyOverload, so the
+      // key is still sketch-resident: the inline update is safe.
+      stats_.degraded = true;
+      ApplyOverload(key, weight);
+      return PushResult::kOverload;
     }
   }
-  ++produced_;
-  return true;
+}
+
+bool PipelineASketch::TryPushMark(item_t key) {
+  const ForwardMsg msg{ForwardKind::kMark, key, 0};
+  // Yield-only (no reverse drain): this runs inside DrainReverseQueue,
+  // which must not re-enter itself.
+  for (uint32_t spins = 0; spins < overload_.max_push_spins; ++spins) {
+    if (worker_dead_.load(std::memory_order_acquire)) return false;
+    if (forward_.TryPush(msg)) {
+      ++produced_;
+      return true;
+    }
+    ++stats_.forward_full_spins;
+    std::this_thread::yield();
+  }
+  stats_.degraded = true;
+  return false;
+}
+
+void PipelineASketch::PushVictimWriteback(item_t key, count_t weight) {
+  const ForwardMsg msg{ForwardKind::kUpdate, key, weight};
+  // Yield-only, for the same non-reentrancy reason as TryPushMark.
+  for (uint32_t spins = 0; spins < overload_.max_push_spins; ++spins) {
+    if (worker_dead_.load(std::memory_order_acquire)) break;
+    if (forward_.TryPush(msg)) {
+      ++produced_;
+      return;
+    }
+    ++stats_.forward_full_spins;
+    std::this_thread::yield();
+  }
+  stats_.degraded = true;
+  ApplyOverload(key, weight);
+}
+
+void PipelineASketch::ApplyOverload(item_t key, count_t weight) {
+  if (overload_.policy == OverloadPolicy::kShed) {
+    stats_.shed_tuples += weight;
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(sketch_mutex_);
+    sketch_.Update(key, static_cast<delta_t>(weight));
+  }
+  ++stats_.inline_applied;
+}
+
+void PipelineASketch::OnWorkerDeath() {
+  stats_.worker_dead = true;
+  stats_.degraded = true;
+  if (worker_absorbed_) return;
+  worker_absorbed_ = true;
+  // The worker set worker_dead_ (release) after its last queue access,
+  // and we read it with acquire, so taking over the consumer side of the
+  // forward queue is safe. Absorb it in FIFO order: updates land in the
+  // sketch exactly as the worker would have applied them, and each mark
+  // resolves to an immediate fix-up whose estimate — computed after all
+  // earlier queued occurrences — is exactly what the protocol promises.
+  ForwardMsg msg;
+  while (forward_.TryPop(&msg)) {
+    switch (msg.kind) {
+      case ForwardKind::kUpdate: {
+        std::lock_guard<std::mutex> lock(sketch_mutex_);
+        sketch_.Update(msg.key, static_cast<delta_t>(msg.weight));
+        break;
+      }
+      case ForwardKind::kMark: {
+        count_t estimate = 0;
+        {
+          std::lock_guard<std::mutex> lock(sketch_mutex_);
+          estimate = sketch_.Estimate(msg.key);
+        }
+        ApplyFixup(msg.key, estimate);
+        break;
+      }
+    }
+    consumed_.fetch_add(1, std::memory_order_release);
+  }
 }
 
 void PipelineASketch::Update(item_t key, delta_t delta) {
   ASKETCH_CHECK(delta >= 1);
+  if (worker_dead_.load(std::memory_order_acquire)) OnWorkerDeath();
   DrainReverseQueue();
   const int32_t slot = filter_.Find(key);
   if (slot >= 0) {
@@ -70,19 +163,46 @@ void PipelineASketch::Update(item_t key, delta_t delta) {
     ++stats_.filter_hits;
     return;
   }
-  if (PushForwardUpdate(key, weight)) {
-    ++stats_.forwarded;
-  } else {
-    ++stats_.filter_hits;  // absorbed during backpressure
+  switch (PushForwardUpdate(key, weight)) {
+    case PushResult::kQueued:
+      ++stats_.forwarded;
+      break;
+    case PushResult::kAbsorbed:
+      ++stats_.filter_hits;  // absorbed during backpressure
+      break;
+    case PushResult::kOverload:
+      break;  // accounted as inline_applied or shed_tuples
   }
+}
+
+void PipelineASketch::ApplyFixup(item_t key, count_t estimate) {
+  const int32_t slot = filter_.Find(key);
+  if (slot < 0) {
+    // Evicted in the meantime; the eviction already wrote the exact
+    // filter-era hits back to the sketch.
+    ++stats_.fixups_dropped;
+    return;
+  }
+  const count_t old_count = filter_.OldCount(slot);
+  if (estimate > old_count) {
+    const count_t raise = estimate - old_count;
+    // Raise both counts: the in-flight occurrences are now reflected
+    // in old_count (they live in the sketch), and new_count keeps
+    // the exact hits accumulated since the exchange on top.
+    filter_.SetCounts(slot,
+                      SaturatingAdd(filter_.NewCount(slot), raise),
+                      estimate);
+    PublishMin();
+  }
+  ++stats_.fixups_applied;
 }
 
 void PipelineASketch::DrainReverseQueue() {
   ReverseMsg msg;
   while (reverse_.TryPop(&msg)) {
-    const int32_t slot = filter_.Find(msg.key);
     switch (msg.kind) {
       case ReverseKind::kCandidate: {
+        const int32_t slot = filter_.Find(msg.key);
         if (slot >= 0) {
           // Already resident (e.g. a duplicate candidate); nothing to do —
           // the pending fix-up of the first acceptance covers it.
@@ -94,42 +214,29 @@ void PipelineASketch::DrainReverseQueue() {
           ++stats_.rejected_candidates;  // stale by the time it arrived
           break;
         }
+        // Reserve the mark fence BEFORE touching the filter: if the
+        // forward queue is too congested to carry it, reject the
+        // candidate (it is droppable — the worker re-proposes hot keys)
+        // rather than install an entry whose fix-up can never arrive.
+        // Pushing the mark first is safe because this whole function runs
+        // on the filter thread: no occurrence of msg.key can enter the
+        // forward queue between the mark and the Insert below.
+        if (!TryPushMark(msg.key)) {
+          ++stats_.rejected_candidates;
+          break;
+        }
         const FilterEntry victim = filter_.EvictMin();
         if (victim.new_count > victim.old_count) {
-          // Same hazard as in Update(): a nested drain during
-          // backpressure can re-admit the victim; its exact hits must
-          // then stay in the filter rather than race past a newer mark.
-          PushForwardUpdate(victim.key,
-                            victim.new_count - victim.old_count);
+          PushVictimWriteback(victim.key,
+                              victim.new_count - victim.old_count);
         }
         filter_.Insert(msg.key, msg.estimate, msg.estimate);
         PublishMin();
-        // Fence the queue: when the sketch stage reaches this mark, all
-        // earlier occurrences of the key are in the sketch and a fix-up
-        // with the refreshed estimate comes back.
-        PushForward(ForwardMsg{ForwardKind::kMark, msg.key, 0});
         ++stats_.exchanges;
         break;
       }
       case ReverseKind::kFixup: {
-        if (slot < 0) {
-          // Evicted in the meantime; the eviction already wrote the exact
-          // filter-era hits back to the sketch.
-          ++stats_.fixups_dropped;
-          break;
-        }
-        const count_t old_count = filter_.OldCount(slot);
-        if (msg.estimate > old_count) {
-          const count_t raise = msg.estimate - old_count;
-          // Raise both counts: the in-flight occurrences are now reflected
-          // in old_count (they live in the sketch), and new_count keeps
-          // the exact hits accumulated since the exchange on top.
-          filter_.SetCounts(slot,
-                            SaturatingAdd(filter_.NewCount(slot), raise),
-                            msg.estimate);
-          PublishMin();
-        }
-        ++stats_.fixups_applied;
+        ApplyFixup(msg.key, msg.estimate);
         break;
       }
     }
@@ -137,13 +244,38 @@ void PipelineASketch::DrainReverseQueue() {
 }
 
 void PipelineASketch::SketchStageMain() {
+  try {
+    SketchStageLoop();
+  } catch (...) {
+    // Publish the death AFTER the last queue access so the producer's
+    // acquire-read of worker_dead_ licenses it to take over the consumer
+    // side of the forward queue.
+    worker_dead_.store(true, std::memory_order_release);
+  }
+}
+
+void PipelineASketch::SketchStageLoop() {
   // Drain the forward queue in batches: one acquire/release pair covers
   // up to kDrainBatch messages, and the sketch rows of every drained
   // update are prefetched before any of them is applied, so each
   // message's w random cell accesses overlap its predecessors'.
   constexpr size_t kDrainBatch = 16;
   ForwardMsg batch[kDrainBatch];
+  struct Pending {
+    ReverseMsg msg;
+    bool has = false;
+    bool must_deliver = false;
+  };
+  Pending pending[kDrainBatch];
   while (true) {
+    while (stall_worker_.load(std::memory_order_acquire)) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      std::this_thread::yield();
+    }
+    if (kill_worker_.load(std::memory_order_acquire)) {
+      // At a message boundary: nothing popped, nothing lost.
+      throw std::runtime_error("PipelineASketch worker killed for testing");
+    }
     const size_t got = forward_.TryPopBatch(batch, kDrainBatch);
     if (got == 0) {
       if (stop_.load(std::memory_order_acquire) && forward_.Empty()) {
@@ -152,33 +284,51 @@ void PipelineASketch::SketchStageMain() {
       std::this_thread::yield();
       continue;
     }
-    for (size_t i = 0; i < got; ++i) {
-      if (batch[i].kind == ForwardKind::kUpdate) {
-        sketch_.Prefetch(batch[i].key);
+    {
+      // Compute everything under the sketch mutex, but push nothing: a
+      // producer stuck in ApplyOverload must never wait on a worker that
+      // is itself waiting for reverse-queue room.
+      std::lock_guard<std::mutex> lock(sketch_mutex_);
+      for (size_t i = 0; i < got; ++i) {
+        if (batch[i].kind == ForwardKind::kUpdate) {
+          sketch_.Prefetch(batch[i].key);
+        }
+      }
+      for (size_t i = 0; i < got; ++i) {
+        const ForwardMsg& msg = batch[i];
+        pending[i].has = false;
+        switch (msg.kind) {
+          case ForwardKind::kUpdate: {
+            const count_t estimate =
+                sketch_.UpdateAndEstimate(msg.key, msg.weight);
+            if (estimate > min_count_.load(std::memory_order_relaxed)) {
+              // Propose an exchange; droppable if the reverse queue is
+              // full (the filter stage will hear about the key again).
+              pending[i] = {{ReverseKind::kCandidate, msg.key, estimate},
+                            true, false};
+            }
+            break;
+          }
+          case ForwardKind::kMark: {
+            pending[i] = {{ReverseKind::kFixup, msg.key,
+                           sketch_.Estimate(msg.key)},
+                          true, true};
+            break;
+          }
+        }
       }
     }
     for (size_t i = 0; i < got; ++i) {
-      const ForwardMsg& msg = batch[i];
-      switch (msg.kind) {
-        case ForwardKind::kUpdate: {
-          const count_t estimate =
-              sketch_.UpdateAndEstimate(msg.key, msg.weight);
-          if (estimate > min_count_.load(std::memory_order_relaxed)) {
-            // Propose an exchange; drop the proposal if the reverse queue
-            // is full (the filter stage will hear about the key again).
-            reverse_.TryPush(
-                ReverseMsg{ReverseKind::kCandidate, msg.key, estimate});
-          }
-          break;
-        }
-        case ForwardKind::kMark: {
-          const count_t estimate = sketch_.Estimate(msg.key);
-          // The fix-up must not be lost: spin until it fits.
-          while (!reverse_.TryPush(
-              ReverseMsg{ReverseKind::kFixup, msg.key, estimate})) {
+      if (pending[i].has) {
+        if (pending[i].must_deliver) {
+          // The fix-up must not be lost: spin until it fits, bailing out
+          // only on shutdown (the producer no longer drains then).
+          while (!reverse_.TryPush(pending[i].msg)) {
+            if (stop_.load(std::memory_order_acquire)) return;
             std::this_thread::yield();
           }
-          break;
+        } else {
+          reverse_.TryPush(pending[i].msg);
         }
       }
       // Incremented after this message's pushes so Flush() can conclude
@@ -193,6 +343,15 @@ void PipelineASketch::Flush() {
   // forward work) and waiting for the worker to catch up, until both
   // queues are empty and every produced message was consumed.
   while (true) {
+    if (worker_dead_.load(std::memory_order_acquire)) {
+      OnWorkerDeath();
+      DrainReverseQueue();
+      // Quiescence after a death is queue emptiness, not the
+      // produced/consumed match: a worker that died mid-message cannot
+      // retroactively complete its accounting.
+      if (forward_.Empty() && reverse_.Empty()) return;
+      continue;
+    }
     DrainReverseQueue();
     if (consumed_.load(std::memory_order_acquire) == produced_ &&
         reverse_.Empty()) {

@@ -95,6 +95,73 @@ class WindowedASketch {
     return merged;
   }
 
+  /// Snapshot-envelope payload tag (registry: src/common/snapshot.h).
+  static constexpr uint32_t kSnapshotPayloadType = 12;
+
+  /// Writes window geometry, the construction config, epoch fill state,
+  /// and both epoch ASketches, so a restored monitor resumes mid-window
+  /// with the covered span intact.
+  bool SerializeTo(BinaryWriter& writer) const {
+    writer.PutU32(0x31534157u);  // "WAS1"
+    writer.PutU64(window_size_);
+    writer.PutU64(filled_);
+    writer.PutU64(rotations_);
+    writer.PutU64(config_.total_bytes);
+    writer.PutU32(config_.width);
+    writer.PutU32(config_.filter_items);
+    writer.PutU64(config_.seed);
+    if (!current_.SerializeTo(writer)) return false;
+    if (!previous_.SerializeTo(writer)) return false;
+    return writer.ok();
+  }
+
+  /// Inverse of SerializeTo; std::nullopt on malformed input.
+  static std::optional<WindowedASketch> DeserializeFrom(
+      BinaryReader& reader) {
+    uint32_t magic = 0;
+    if (!reader.GetU32(&magic) || magic != 0x31534157u) {
+      return std::nullopt;
+    }
+    uint64_t window_size = 0, filled = 0, rotations = 0, total_bytes = 0;
+    ASketchConfig config;
+    if (!reader.GetU64(&window_size) || !reader.GetU64(&filled) ||
+        !reader.GetU64(&rotations) || !reader.GetU64(&total_bytes) ||
+        !reader.GetU32(&config.width) ||
+        !reader.GetU32(&config.filter_items) ||
+        !reader.GetU64(&config.seed)) {
+      return std::nullopt;
+    }
+    config.total_bytes = static_cast<size_t>(total_bytes);
+    // Validate everything the constructor and the MakeASketch* budget
+    // split would CHECK-abort on: a corrupt blob must come back as
+    // nullopt, never as a crash. Rotate() fires at filled == window_size,
+    // so a persisted fill is always strictly inside the window.
+    if (window_size < 1 || filled >= window_size) return std::nullopt;
+    if (total_bytes > kMaxSerializedBytes) return std::nullopt;
+    if (config.Validate().has_value()) return std::nullopt;
+    if (static_cast<uint64_t>(config.filter_items) *
+            RelaxedHeapFilter::BytesPerItem() >=
+        config.total_bytes) {
+      return std::nullopt;
+    }
+    auto current =
+        ASketch<RelaxedHeapFilter, CountMin>::DeserializeFrom(reader);
+    if (!current.has_value()) return std::nullopt;
+    auto previous =
+        ASketch<RelaxedHeapFilter, CountMin>::DeserializeFrom(reader);
+    if (!previous.has_value()) return std::nullopt;
+    if (current->filter().capacity() != config.filter_items ||
+        previous->filter().capacity() != config.filter_items) {
+      return std::nullopt;
+    }
+    WindowedASketch result(window_size, config);
+    result.current_ = *std::move(current);
+    result.previous_ = *std::move(previous);
+    result.filled_ = filled;
+    result.rotations_ = rotations;
+    return result;
+  }
+
   /// Counts accumulated into the current (unfinished) epoch.
   uint64_t current_epoch_fill() const { return filled_; }
   /// Number of completed epoch rotations.

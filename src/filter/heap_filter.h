@@ -172,6 +172,9 @@ class BasicHeapFilter {
   static std::string Name() { return kStrict ? "Strict-Heap"
                                              : "Relaxed-Heap"; }
 
+  /// Snapshot-envelope payload tag (registry: src/common/snapshot.h).
+  static constexpr uint32_t kSnapshotPayloadType = kStrict ? 9 : 10;
+
   bool SerializeTo(BinaryWriter& writer) const {
     writer.PutU32(kStrict ? 0x31544853u : 0x31544852u);  // SHT1 / RHT1
     writer.PutU32(capacity_);
@@ -192,6 +195,7 @@ class BasicHeapFilter {
       return std::nullopt;
     }
     if (!reader.GetU32(&capacity) || capacity < 1 ||
+        capacity > kMaxSerializedCapacity ||
         !reader.GetU32(&size) || size > capacity) {
       return std::nullopt;
     }

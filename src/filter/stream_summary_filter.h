@@ -105,6 +105,9 @@ class StreamSummaryFilter {
 
   static std::string Name() { return "Stream-Summary"; }
 
+  /// Snapshot-envelope payload tag (registry: src/common/snapshot.h).
+  static constexpr uint32_t kSnapshotPayloadType = 11;
+
   bool SerializeTo(BinaryWriter& writer) const {
     writer.PutU32(0x31545353u);  // "SST1"
     writer.PutU32(summary_.capacity());
@@ -124,6 +127,7 @@ class StreamSummaryFilter {
       return std::nullopt;
     }
     if (!reader.GetU32(&capacity) || capacity < 1 ||
+        capacity > kMaxSerializedCapacity ||
         !reader.GetU32(&size) || size > capacity) {
       return std::nullopt;
     }

@@ -104,6 +104,9 @@ class VectorFilter {
   bool SerializeTo(BinaryWriter& writer) const;
   static std::optional<VectorFilter> DeserializeFrom(BinaryReader& reader);
 
+  /// Snapshot-envelope payload tag (registry: src/common/snapshot.h).
+  static constexpr uint32_t kSnapshotPayloadType = 8;
+
  private:
   uint32_t capacity_;
   uint32_t size_ = 0;

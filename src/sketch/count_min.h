@@ -179,6 +179,9 @@ class CountMin {
   /// Inverse of SerializeTo; std::nullopt on malformed input.
   static std::optional<CountMin> DeserializeFrom(BinaryReader& reader);
 
+  /// Snapshot-envelope payload tag (registry: src/common/snapshot.h).
+  static constexpr uint32_t kSnapshotPayloadType = 1;
+
   std::string Name() const { return "CountMin"; }
 
  private:

@@ -84,6 +84,9 @@ class CountSketch {
   bool SerializeTo(BinaryWriter& writer) const;
   static std::optional<CountSketch> DeserializeFrom(BinaryReader& reader);
 
+  /// Snapshot-envelope payload tag (registry: src/common/snapshot.h).
+  static constexpr uint32_t kSnapshotPayloadType = 2;
+
   std::string Name() const { return "CountSketch"; }
 
  private:

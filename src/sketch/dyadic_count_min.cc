@@ -192,6 +192,7 @@ std::optional<DyadicCountMin> DyadicCountMin::DeserializeFrom(
     return std::nullopt;
   }
   config.total_bytes = total_bytes;
+  if (total_bytes > kMaxSerializedBytes) return std::nullopt;
   if (config.Validate().has_value()) return std::nullopt;
   DyadicCountMin sketch(config);
   sketch.total_ = total;

@@ -81,6 +81,9 @@ class DyadicCountMin {
   static std::optional<DyadicCountMin> DeserializeFrom(
       BinaryReader& reader);
 
+  /// Snapshot-envelope payload tag (registry: src/common/snapshot.h).
+  static constexpr uint32_t kSnapshotPayloadType = 7;
+
   std::string Name() const { return "DyadicCountMin"; }
 
  private:

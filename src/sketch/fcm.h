@@ -127,6 +127,9 @@ class Fcm {
   bool SerializeTo(BinaryWriter& writer) const;
   static std::optional<Fcm> DeserializeFrom(BinaryReader& reader);
 
+  /// Snapshot-envelope payload tag (registry: src/common/snapshot.h).
+  static constexpr uint32_t kSnapshotPayloadType = 3;
+
   std::string Name() const { return "FCM"; }
 
  private:

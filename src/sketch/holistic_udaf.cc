@@ -94,6 +94,7 @@ std::optional<HolisticUdaf> HolisticUdaf::DeserializeFrom(
     return std::nullopt;
   }
   if (!reader.GetU32(&table_capacity) || table_capacity < 1 ||
+      table_capacity > kMaxSerializedCapacity ||
       !reader.GetU64(&flush_count) || !reader.GetU32(&size) ||
       size > table_capacity) {
     return std::nullopt;

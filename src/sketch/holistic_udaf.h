@@ -79,6 +79,9 @@ class HolisticUdaf {
   bool SerializeTo(BinaryWriter& writer) const;
   static std::optional<HolisticUdaf> DeserializeFrom(BinaryReader& reader);
 
+  /// Snapshot-envelope payload tag (registry: src/common/snapshot.h).
+  static constexpr uint32_t kSnapshotPayloadType = 6;
+
   std::string Name() const { return "HolisticUDAF"; }
 
  private:

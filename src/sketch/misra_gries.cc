@@ -119,6 +119,7 @@ std::optional<MisraGries> MisraGries::DeserializeFrom(
     return std::nullopt;
   }
   if (!reader.GetU32(&capacity) || capacity < 1 ||
+      capacity > kMaxSerializedCapacity ||
       !reader.GetU32(&size) || size > capacity) {
     return std::nullopt;
   }

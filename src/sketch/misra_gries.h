@@ -66,6 +66,9 @@ class MisraGries {
   bool SerializeTo(BinaryWriter& writer) const;
   static std::optional<MisraGries> DeserializeFrom(BinaryReader& reader);
 
+  /// Snapshot-envelope payload tag (registry: src/common/snapshot.h).
+  static constexpr uint32_t kSnapshotPayloadType = 4;
+
   /// Visits all monitored (key, count) pairs.
   template <typename Fn>
   void ForEach(Fn&& fn) const {

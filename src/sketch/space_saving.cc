@@ -109,6 +109,7 @@ std::optional<SpaceSaving> SpaceSaving::DeserializeFrom(
     return std::nullopt;
   }
   if (!reader.GetU32(&capacity) || capacity < 1 ||
+      capacity > kMaxSerializedCapacity ||
       !reader.GetU8(&mode) || mode > 1 || !reader.GetU32(&size) ||
       size > capacity) {
     return std::nullopt;

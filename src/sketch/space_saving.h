@@ -88,6 +88,9 @@ class SpaceSaving {
   bool SerializeTo(BinaryWriter& writer) const;
   static std::optional<SpaceSaving> DeserializeFrom(BinaryReader& reader);
 
+  /// Snapshot-envelope payload tag (registry: src/common/snapshot.h).
+  static constexpr uint32_t kSnapshotPayloadType = 5;
+
   std::string Name() const {
     return mode_ == SpaceSavingEstimateMode::kMin ? "SpaceSaving(min)"
                                                   : "SpaceSaving(zero)";

@@ -1,10 +1,30 @@
-// asketch_cli: build, persist, and query ASketch synopses from the
-// command line.
+// asketch_cli: build, persist, checkpoint, and query ASketch synopses
+// from the command line.
 //
 //   asketch_cli build <stream.ask> <synopsis.as> [--bytes N] [--width W]
-//                     [--filter F]
+//                     [--filter F] [--seed S]
 //       Consume a binary stream file (see make_stream) into an ASketch
 //       and serialize the synopsis.
+//
+//   asketch_cli checkpoint <stream.ask> <prefix> [build flags]
+//                          [--every N] [--retain K] [--recover]
+//       Like build, but persist a crash-consistent snapshot (see
+//       src/common/snapshot.h) under <prefix>.<gen>.snap every N tuples
+//       and at the end, keeping the last K generations. With --recover,
+//       resume from the newest intact checkpoint instead of starting
+//       over: the run re-reads the stream, skips the tuples already
+//       ingested, and continues. After every save the process re-adopts
+//       its own checkpoint, so the in-memory trajectory is a
+//       deterministic function of (stream, interval) and a recovered run
+//       produces a bit-identical final synopsis to an uninterrupted one.
+//
+//   asketch_cli restore <prefix> <synopsis.as>
+//       Extract the newest intact checkpoint into a plain synopsis file
+//       usable by query/topk/stats.
+//
+//   asketch_cli recover <prefix>
+//       Report which checkpoint generation would be recovered (and how
+//       many newer, corrupt generations would be skipped).
 //
 //   asketch_cli query <synopsis.as> <key> [key...]
 //       Print frequency estimates for the given keys.
@@ -19,8 +39,12 @@
 //       Merge two synopses built with identical parameters.
 //
 // The synopsis on disk is the library's binary serialization of
-// ASketch<RelaxedHeapFilter, CountMin>.
+// ASketch<RelaxedHeapFilter, CountMin>; synopsis files are published
+// atomically (temp file + fsync + rename). Every failure path exits
+// nonzero: 2 for usage errors, 1 for runtime failures.
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +53,7 @@
 #include <vector>
 
 #include "src/common/serialize.h"
+#include "src/common/snapshot.h"
 #include "src/core/asketch.h"
 #include "src/workload/dataset_io.h"
 
@@ -37,15 +62,38 @@ namespace {
 using namespace asketch;
 using CliSketch = ASketch<RelaxedHeapFilter, CountMin>;
 
+/// Snapshot payload tag for CLI checkpoints: u64 ingested-tuple count
+/// followed by the CliSketch blob. Application tags live outside the
+/// library's 0x41 composed-tag namespace.
+constexpr uint32_t kCliCheckpointTag = 0x31504b43u;  // "CKP1"
+
+constexpr size_t kBlockTuples = 1 << 16;
+
 void Usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  asketch_cli build <stream.ask> <synopsis.as> "
-               "[--bytes N] [--width W] [--filter F] [--seed S]\n"
-               "  asketch_cli query <synopsis.as> <key> [key...]\n"
-               "  asketch_cli topk  <synopsis.as>\n"
-               "  asketch_cli stats <synopsis.as>\n"
-               "  asketch_cli merge <a.as> <b.as> <out.as>\n");
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  asketch_cli build <stream.ask> <synopsis.as> "
+      "[--bytes N] [--width W] [--filter F] [--seed S]\n"
+      "  asketch_cli checkpoint <stream.ask> <prefix> [build flags] "
+      "[--every N] [--retain K] [--recover]\n"
+      "  asketch_cli restore <prefix> <synopsis.as>\n"
+      "  asketch_cli recover <prefix>\n"
+      "  asketch_cli query <synopsis.as> <key> [key...]\n"
+      "  asketch_cli topk  <synopsis.as>\n"
+      "  asketch_cli stats <synopsis.as>\n"
+      "  asketch_cli merge <a.as> <b.as> <out.as>\n");
+}
+
+/// Strict decimal parse; false on empty/trailing-garbage/overflow input.
+bool ParseU64(const char* text, uint64_t* out) {
+  if (text == nullptr || *text == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = value;
+  return true;
 }
 
 std::optional<CliSketch> LoadSynopsis(const std::string& path) {
@@ -65,16 +113,100 @@ std::optional<CliSketch> LoadSynopsis(const std::string& path) {
 }
 
 bool SaveSynopsis(const CliSketch& sketch, const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+  BinaryWriter writer;
+  if (!sketch.SerializeTo(writer)) {
+    std::fprintf(stderr, "serialization failed for %s\n", path.c_str());
     return false;
   }
-  BinaryWriter writer(f);
-  const bool ok = sketch.SerializeTo(writer);
-  std::fclose(f);
-  if (!ok) std::fprintf(stderr, "write failed: %s\n", path.c_str());
-  return ok;
+  // Atomic publication: a crash mid-write can never leave a torn
+  // synopsis under the final name.
+  if (const auto error = WriteFileAtomic(path, writer.buffer())) {
+    std::fprintf(stderr, "write failed: %s\n", error->c_str());
+    return false;
+  }
+  return true;
+}
+
+std::vector<uint8_t> EncodeCheckpoint(const CliSketch& sketch,
+                                      uint64_t ingested) {
+  BinaryWriter writer;
+  writer.Reserve(sizeof(uint64_t) + sketch.MemoryUsageBytes());
+  writer.PutU64(ingested);
+  sketch.SerializeTo(writer);
+  return writer.buffer();
+}
+
+std::optional<CliSketch> DecodeCheckpoint(
+    const std::vector<uint8_t>& payload, uint64_t* ingested) {
+  BinaryReader reader(payload.data(), payload.size());
+  if (!reader.GetU64(ingested)) return std::nullopt;
+  return CliSketch::DeserializeFrom(reader);
+}
+
+/// Persists a checkpoint and re-adopts the just-written state, so every
+/// run — clean or recovered — continues from the same (deserialization-
+/// normalized) filter layout. See the checkpoint section of the file
+/// comment.
+bool SaveAndReload(SnapshotStore& store, uint64_t ingested,
+                   std::optional<CliSketch>* sketch) {
+  const std::vector<uint8_t> payload = EncodeCheckpoint(**sketch, ingested);
+  if (const auto error = store.Save(kCliCheckpointTag, payload)) {
+    std::fprintf(stderr, "checkpoint failed: %s\n", error->c_str());
+    return false;
+  }
+  uint64_t check = 0;
+  auto reloaded = DecodeCheckpoint(payload, &check);
+  if (!reloaded.has_value() || check != ingested) {
+    std::fprintf(stderr, "checkpoint round-trip failed at %llu tuples\n",
+                 static_cast<unsigned long long>(ingested));
+    return false;
+  }
+  *sketch = std::move(reloaded);
+  return true;
+}
+
+/// Parsed flag set shared by build and checkpoint.
+struct BuildFlags {
+  ASketchConfig config;
+  uint64_t every = 1 << 20;
+  uint64_t retain = 3;
+  bool recover = false;
+};
+
+bool ParseBuildFlags(int argc, char** argv, int first,
+                     bool allow_checkpoint_flags, BuildFlags* flags) {
+  flags->config.total_bytes = 128 * 1024;
+  flags->config.width = 8;
+  flags->config.filter_items = 32;
+  for (int i = first; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (allow_checkpoint_flags && flag == "--recover") {
+      flags->recover = true;
+      continue;
+    }
+    if (i + 1 >= argc) return false;
+    const char* value = argv[++i];
+    uint64_t parsed = 0;
+    if (!ParseU64(value, &parsed)) return false;
+    if (flag == "--bytes") {
+      flags->config.total_bytes = parsed;
+    } else if (flag == "--width") {
+      flags->config.width = static_cast<uint32_t>(parsed);
+    } else if (flag == "--filter") {
+      flags->config.filter_items = static_cast<uint32_t>(parsed);
+    } else if (flag == "--seed") {
+      flags->config.seed = parsed;
+    } else if (allow_checkpoint_flags && flag == "--every") {
+      if (parsed == 0) return false;
+      flags->every = parsed;
+    } else if (allow_checkpoint_flags && flag == "--retain") {
+      if (parsed == 0) return false;
+      flags->retain = parsed;
+    } else {
+      return false;
+    }
+  }
+  return true;
 }
 
 int CmdBuild(int argc, char** argv) {
@@ -84,40 +216,25 @@ int CmdBuild(int argc, char** argv) {
   }
   const std::string stream_path = argv[2];
   const std::string out_path = argv[3];
-  ASketchConfig config;
-  config.total_bytes = 128 * 1024;
-  config.width = 8;
-  config.filter_items = 32;
-  for (int i = 4; i + 1 < argc; i += 2) {
-    const std::string flag = argv[i];
-    const char* value = argv[i + 1];
-    if (flag == "--bytes") {
-      config.total_bytes = std::strtoull(value, nullptr, 10);
-    } else if (flag == "--width") {
-      config.width = static_cast<uint32_t>(std::atoi(value));
-    } else if (flag == "--filter") {
-      config.filter_items = static_cast<uint32_t>(std::atoi(value));
-    } else if (flag == "--seed") {
-      config.seed = std::strtoull(value, nullptr, 10);
-    } else {
-      Usage();
-      return 2;
-    }
+  BuildFlags flags;
+  if (!ParseBuildFlags(argc, argv, 4, /*allow_checkpoint_flags=*/false,
+                       &flags)) {
+    Usage();
+    return 2;
   }
-  if (const auto error = config.Validate()) {
+  if (const auto error = flags.config.Validate()) {
     std::fprintf(stderr, "invalid config: %s\n", error->c_str());
     return 2;
   }
   // Stream the file in fixed-size blocks through the batched ingestion
   // path: bounded memory regardless of trace size, and each block gets
   // the chunked SIMD filter probes + sketch prefetching of UpdateBatch.
-  constexpr size_t kBlockTuples = 1 << 16;
   StreamFileReader reader;
   if (const auto error = reader.Open(stream_path)) {
     std::fprintf(stderr, "read failed: %s\n", error->c_str());
     return 1;
   }
-  CliSketch sketch = MakeASketchCountMin<RelaxedHeapFilter>(config);
+  CliSketch sketch = MakeASketchCountMin<RelaxedHeapFilter>(flags.config);
   std::vector<Tuple> block;
   uint64_t ingested = 0;
   while (true) {
@@ -140,6 +257,161 @@ int CmdBuild(int argc, char** argv) {
   return 0;
 }
 
+int CmdCheckpoint(int argc, char** argv) {
+  if (argc < 4) {
+    Usage();
+    return 2;
+  }
+  const std::string stream_path = argv[2];
+  const std::string prefix = argv[3];
+  BuildFlags flags;
+  if (!ParseBuildFlags(argc, argv, 4, /*allow_checkpoint_flags=*/true,
+                       &flags)) {
+    Usage();
+    return 2;
+  }
+  if (const auto error = flags.config.Validate()) {
+    std::fprintf(stderr, "invalid config: %s\n", error->c_str());
+    return 2;
+  }
+  SnapshotStore store(prefix, static_cast<uint32_t>(flags.retain));
+  uint64_t ingested = 0;
+  std::optional<CliSketch> sketch;
+  if (flags.recover) {
+    std::string error;
+    if (auto loaded = store.Load(kCliCheckpointTag, &error)) {
+      sketch = DecodeCheckpoint(loaded->payload, &ingested);
+      if (!sketch.has_value()) {
+        std::fprintf(stderr,
+                     "generation %llu passed checksum but is not an "
+                     "ASketch checkpoint\n",
+                     static_cast<unsigned long long>(loaded->generation));
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "recovered generation %llu (%u corrupt generation(s) "
+                   "skipped), %llu tuples already ingested\n",
+                   static_cast<unsigned long long>(loaded->generation),
+                   loaded->generations_skipped,
+                   static_cast<unsigned long long>(ingested));
+    } else {
+      std::fprintf(stderr, "starting fresh: %s\n", error.c_str());
+    }
+  }
+  if (!sketch.has_value()) {
+    sketch = MakeASketchCountMin<RelaxedHeapFilter>(flags.config);
+  }
+  StreamFileReader reader;
+  if (const auto error = reader.Open(stream_path)) {
+    std::fprintf(stderr, "read failed: %s\n", error->c_str());
+    return 1;
+  }
+  std::vector<Tuple> block;
+  // Fast-forward past the tuples the recovered checkpoint already covers.
+  uint64_t to_skip = ingested;
+  while (to_skip > 0) {
+    const size_t want =
+        static_cast<size_t>(std::min<uint64_t>(kBlockTuples, to_skip));
+    if (const auto error = reader.ReadBlock(want, &block)) {
+      std::fprintf(stderr, "read failed: %s\n", error->c_str());
+      return 1;
+    }
+    if (block.empty()) {
+      std::fprintf(stderr,
+                   "stream %s is shorter than the recovered checkpoint "
+                   "(%llu tuples)\n",
+                   stream_path.c_str(),
+                   static_cast<unsigned long long>(ingested));
+      return 1;
+    }
+    to_skip -= block.size();
+  }
+  // Ingest, splitting blocks at checkpoint boundaries so every run
+  // checkpoints at exactly the same tuple counts.
+  uint64_t saved_at = flags.recover ? ingested : ~uint64_t{0};
+  uint64_t next_checkpoint = (ingested / flags.every + 1) * flags.every;
+  while (true) {
+    const size_t want = static_cast<size_t>(
+        std::min<uint64_t>(kBlockTuples, next_checkpoint - ingested));
+    if (const auto error = reader.ReadBlock(want, &block)) {
+      std::fprintf(stderr, "read failed: %s\n", error->c_str());
+      return 1;
+    }
+    if (block.empty()) break;
+    sketch->UpdateBatch(block);
+    ingested += block.size();
+    if (ingested == next_checkpoint) {
+      if (!SaveAndReload(store, ingested, &sketch)) return 1;
+      saved_at = ingested;
+      next_checkpoint += flags.every;
+    }
+  }
+  if (saved_at != ingested) {
+    if (!SaveAndReload(store, ingested, &sketch)) return 1;
+  }
+  std::fprintf(stderr,
+               "checkpointed %llu tuples under %s (generation %llu)\n",
+               static_cast<unsigned long long>(ingested), prefix.c_str(),
+               static_cast<unsigned long long>(store.LatestGeneration()));
+  return 0;
+}
+
+int CmdRestore(int argc, char** argv) {
+  if (argc != 4) {
+    Usage();
+    return 2;
+  }
+  SnapshotStore store(argv[2]);
+  std::string error;
+  const auto loaded = store.Load(kCliCheckpointTag, &error);
+  if (!loaded.has_value()) {
+    std::fprintf(stderr, "restore failed: %s\n", error.c_str());
+    return 1;
+  }
+  uint64_t ingested = 0;
+  const auto sketch = DecodeCheckpoint(loaded->payload, &ingested);
+  if (!sketch.has_value()) {
+    std::fprintf(stderr,
+                 "generation %llu passed checksum but is not an ASketch "
+                 "checkpoint\n",
+                 static_cast<unsigned long long>(loaded->generation));
+    return 1;
+  }
+  if (!SaveSynopsis(*sketch, argv[3])) return 1;
+  std::fprintf(stderr,
+               "restored generation %llu (%llu tuples) to %s\n",
+               static_cast<unsigned long long>(loaded->generation),
+               static_cast<unsigned long long>(ingested), argv[3]);
+  return 0;
+}
+
+int CmdRecover(int argc, char** argv) {
+  if (argc != 3) {
+    Usage();
+    return 2;
+  }
+  SnapshotStore store(argv[2]);
+  std::string error;
+  const auto loaded = store.Load(kCliCheckpointTag, &error);
+  if (!loaded.has_value()) {
+    std::fprintf(stderr, "nothing to recover: %s\n", error.c_str());
+    return 1;
+  }
+  uint64_t ingested = 0;
+  if (!DecodeCheckpoint(loaded->payload, &ingested).has_value()) {
+    std::fprintf(stderr,
+                 "generation %llu passed checksum but is not an ASketch "
+                 "checkpoint\n",
+                 static_cast<unsigned long long>(loaded->generation));
+    return 1;
+  }
+  std::printf("generation %llu\nskipped %u\ningested %llu\n",
+              static_cast<unsigned long long>(loaded->generation),
+              loaded->generations_skipped,
+              static_cast<unsigned long long>(ingested));
+  return 0;
+}
+
 int CmdQuery(int argc, char** argv) {
   if (argc < 4) {
     Usage();
@@ -148,9 +420,13 @@ int CmdQuery(int argc, char** argv) {
   auto sketch = LoadSynopsis(argv[2]);
   if (!sketch.has_value()) return 1;
   for (int i = 3; i < argc; ++i) {
-    const item_t key =
-        static_cast<item_t>(std::strtoul(argv[i], nullptr, 10));
-    std::printf("%u\t%u\n", key, sketch->Estimate(key));
+    uint64_t key = 0;
+    if (!ParseU64(argv[i], &key) || key > ~item_t{0}) {
+      std::fprintf(stderr, "invalid key: %s\n", argv[i]);
+      return 2;
+    }
+    std::printf("%u\t%u\n", static_cast<item_t>(key),
+                sketch->Estimate(static_cast<item_t>(key)));
   }
   return 0;
 }
@@ -220,6 +496,9 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   if (command == "build") return CmdBuild(argc, argv);
+  if (command == "checkpoint") return CmdCheckpoint(argc, argv);
+  if (command == "restore") return CmdRestore(argc, argv);
+  if (command == "recover") return CmdRecover(argc, argv);
   if (command == "query") return CmdQuery(argc, argv);
   if (command == "topk") return CmdTopK(argc, argv);
   if (command == "stats") return CmdStats(argc, argv);
