@@ -11,6 +11,8 @@
 #endif
 
 #include "src/common/crc32c.h"
+#include "src/obs/core_metrics.h"
+#include "src/obs/trace.h"
 
 namespace asketch {
 namespace {
@@ -178,6 +180,9 @@ uint64_t SnapshotStore::LatestGeneration() const {
 
 std::optional<std::string> SnapshotStore::Save(
     uint32_t payload_type, const std::vector<uint8_t>& payload) {
+  ASKETCH_TRACE_SPAN("snapshot_save");
+  ASKETCH_TELEMETRY_ONLY(
+      const auto telemetry_start = std::chrono::steady_clock::now();)
   const fs::path dir = fs::path(prefix_).parent_path();
   if (!dir.empty()) {
     std::error_code ec;
@@ -187,6 +192,8 @@ std::optional<std::string> SnapshotStore::Save(
   const std::vector<uint8_t> envelope = WrapSnapshot(payload_type, payload);
   if (auto error =
           WriteFileAtomic(GenerationPath(gen), envelope, hooks_)) {
+    ASKETCH_TELEMETRY_ONLY(
+        obs::SnapshotMetrics::Get().save_failures.Increment();)
     return error;
   }
   // Prune only after the new generation is durably in place, oldest
@@ -196,14 +203,27 @@ std::optional<std::string> SnapshotStore::Save(
     std::remove(GenerationPath(generations.front()).c_str());
     generations.erase(generations.begin());
   }
+  ASKETCH_TELEMETRY_ONLY({
+    obs::SnapshotMetrics& metrics = obs::SnapshotMetrics::Get();
+    metrics.saves.Increment();
+    metrics.save_ns.Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - telemetry_start)
+            .count()));
+  })
   return std::nullopt;
 }
 
 std::optional<SnapshotStore::Loaded> SnapshotStore::Load(
     uint32_t expected_type, std::string* error) const {
+  ASKETCH_TRACE_SPAN("snapshot_load");
+  ASKETCH_TELEMETRY_ONLY(
+      const auto telemetry_start = std::chrono::steady_clock::now();)
   const std::vector<uint64_t> generations = ListGenerations();
   if (generations.empty()) {
     if (error != nullptr) *error = "no snapshots under " + prefix_;
+    ASKETCH_TELEMETRY_ONLY(
+        obs::SnapshotMetrics::Get().load_failures.Increment();)
     return std::nullopt;
   }
   uint32_t skipped = 0;
@@ -214,6 +234,15 @@ std::optional<SnapshotStore::Loaded> SnapshotStore::Load(
       auto payload = UnwrapSnapshot(bytes->data(), bytes->size(),
                                     expected_type);
       if (payload.has_value()) {
+        ASKETCH_TELEMETRY_ONLY({
+          obs::SnapshotMetrics& metrics = obs::SnapshotMetrics::Get();
+          metrics.loads.Increment();
+          metrics.corrupt_skipped.Add(skipped);
+          metrics.load_ns.Record(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - telemetry_start)
+                  .count()));
+        })
         return Loaded{*std::move(payload), *it, skipped};
       }
     }
@@ -224,6 +253,11 @@ std::optional<SnapshotStore::Loaded> SnapshotStore::Load(
              " snapshot generations under " + prefix_ +
              " are unreadable or corrupt";
   }
+  ASKETCH_TELEMETRY_ONLY({
+    obs::SnapshotMetrics& metrics = obs::SnapshotMetrics::Get();
+    metrics.load_failures.Increment();
+    metrics.corrupt_skipped.Add(skipped);
+  })
   return std::nullopt;
 }
 

@@ -34,6 +34,7 @@
 #define ASKETCH_CORE_ASKETCH_H_
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -43,6 +44,8 @@
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/obs/core_metrics.h"
+#include "src/obs/trace.h"
 #include "src/common/serialize.h"
 #include "src/common/simd_scan.h"
 #include "src/common/types.h"
@@ -107,6 +110,13 @@ class ASketch {
     } else {
       UpdateNegative(key, delta);
     }
+    // Scalar ingest flushes the pending telemetry block periodically so
+    // the registry trails the sketch by at most kTelemetryFlushInterval
+    // tuples; batch ingest flushes exactly once per batch instead.
+    ASKETCH_TELEMETRY_ONLY(if (++pending_.since_flush >=
+                               kTelemetryFlushInterval) [[unlikely]] {
+      PublishTelemetry();
+    })
   }
 
   /// Batched Algorithm 1 — the ingestion fast path. Tuples are processed
@@ -129,6 +139,9 @@ class ASketch {
   /// keeps the walk exactly equivalent to Algorithm 1. Tuple weights are
   /// unsigned; zero-weight tuples are skipped like Update(key, 0).
   void UpdateBatch(std::span<const Tuple> tuples) {
+    ASKETCH_TRACE_SPAN("asketch_update_batch");
+    ASKETCH_TELEMETRY_ONLY(
+        const auto telemetry_start = std::chrono::steady_clock::now();)
     constexpr size_t kChunk = 16;
     static_assert(kChunk <= kMaxProbeBatch);
     // Backends exposing the prepared-update API (PrepareUpdateBatch +
@@ -192,6 +205,8 @@ class ASketch {
         if (slot >= 0) {
           filter_.AddToNewCount(slot, delta);
           stats_.filtered_weight += static_cast<wide_count_t>(delta);
+          ASKETCH_TELEMETRY_ONLY(
+              pending_.filtered_weight += static_cast<uint64_t>(delta);)
           if constexpr (requires { FilterT::HitInvalidatesSlots(slot); }) {
             if (FilterT::HitInvalidatesSlots(slot)) slots_valid = false;
           } else {
@@ -215,6 +230,14 @@ class ASketch {
         }
       }
     }
+    ASKETCH_TELEMETRY_ONLY({
+      PublishTelemetry();
+      obs::IngestMetrics::Get().update_batch_ns.Record(
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - telemetry_start)
+                  .count()));
+    })
   }
 
   /// Algorithm 2: filter hit answers exactly from new_count; otherwise the
@@ -244,9 +267,47 @@ class ASketch {
   }
 
   void Reset() {
+    // Events observed before the reset still happened; surface them.
+    ASKETCH_TELEMETRY_ONLY(PublishTelemetry();)
     filter_.Reset();
     sketch_.Reset();
     stats_ = ASketchStats{};
+  }
+
+  /// Flushes locally accumulated telemetry deltas into the global
+  /// metrics registry (obs::IngestMetrics). Hot paths bank their events
+  /// in plain per-instance fields and this call moves them into the
+  /// per-thread sharded counters; UpdateBatch calls it once per batch,
+  /// scalar Update every kTelemetryFlushInterval tuples. Call it before
+  /// reading the registry when exact totals matter. No-op when telemetry
+  /// is compiled out. Deliberately out-of-line and cold: it must not
+  /// bloat the inlined ingest fast paths.
+#if defined(__GNUC__) && !defined(ASKETCH_NO_TELEMETRY)
+  __attribute__((noinline, cold))
+#endif
+  void PublishTelemetry() {
+    ASKETCH_TELEMETRY_ONLY({
+      obs::IngestMetrics& metrics = obs::IngestMetrics::Get();
+      if (pending_.filtered_weight != 0) {
+        metrics.filtered_weight.Add(pending_.filtered_weight);
+      }
+      if (pending_.sketch_weight != 0) {
+        metrics.sketch_weight.Add(pending_.sketch_weight);
+      }
+      if (pending_.sketch_updates != 0) {
+        metrics.sketch_updates.Add(pending_.sketch_updates);
+      }
+      if (pending_.exchanges != 0) {
+        metrics.exchanges.Add(pending_.exchanges);
+      }
+      if (pending_.exchange_writebacks != 0) {
+        metrics.exchange_writebacks.Add(pending_.exchange_writebacks);
+      }
+      if (pending_.deletions != 0) {
+        metrics.deletions.Add(pending_.deletions);
+      }
+      pending_ = PendingTelemetry{};
+    })
   }
 
   size_t MemoryUsageBytes() const {
@@ -368,6 +429,8 @@ class ASketch {
     if (slot >= 0) {
       filter_.AddToNewCount(slot, delta);
       stats_.filtered_weight += static_cast<wide_count_t>(delta);
+      ASKETCH_TELEMETRY_ONLY(
+          pending_.filtered_weight += static_cast<uint64_t>(delta);)
       return;
     }
     MissPositive(key, delta);
@@ -389,6 +452,8 @@ class ASketch {
                               delta, ~count_t{0})),
                      /*old_count=*/0);
       stats_.filtered_weight += static_cast<wide_count_t>(delta);
+      ASKETCH_TELEMETRY_ONLY(
+          pending_.filtered_weight += static_cast<uint64_t>(delta);)
       return true;
     }
     // Lines 7-9: forward to the sketch and read back the new estimate.
@@ -410,6 +475,10 @@ class ASketch {
     }
     ++stats_.sketch_updates;
     stats_.sketch_weight += static_cast<wide_count_t>(delta);
+    ASKETCH_TELEMETRY_ONLY({
+      pending_.sketch_weight += static_cast<uint64_t>(delta);
+      ++pending_.sketch_updates;
+    })
     if (!enable_exchanges_) return false;
     // Lines 9-17: at most ONE exchange per sketch insertion. Multiple
     // cascading exchanges would re-inject over-estimated counts and only
@@ -423,11 +492,16 @@ class ASketch {
                                        victim.new_count - victim.old_count));
         ++stats_.exchange_writebacks;
         ++stats_.sketch_updates;
+        ASKETCH_TELEMETRY_ONLY({
+          ++pending_.exchange_writebacks;
+          ++pending_.sketch_updates;
+        })
       }
       // The incoming key keeps its sketch cells untouched; both counts
       // start at the estimate so (new - old) = 0 exact hits so far.
       filter_.Insert(key, estimate, estimate);
       ++stats_.exchanges;
+      ASKETCH_TELEMETRY_ONLY(++pending_.exchanges;)
       return true;
     }
     return false;
@@ -445,6 +519,7 @@ class ASketch {
   }
 
   void UpdateNegative(item_t key, delta_t delta) {
+    ASKETCH_TELEMETRY_ONLY(++pending_.deletions;)
     const int32_t slot = filter_.Find(key);
     if (slot < 0) {
       // Not monitored: the deletion applies directly to the sketch, and
@@ -453,6 +528,7 @@ class ASketch {
       // wrap the unsigned stats counters.
       sketch_.Update(key, delta);
       ++stats_.sketch_updates;
+      ASKETCH_TELEMETRY_ONLY(++pending_.sketch_updates;)
       DeductWeight(stats_.sketch_weight, static_cast<count_t>(std::min<delta_t>(
                                              -delta, ~count_t{0})));
       return;
@@ -477,6 +553,7 @@ class ASketch {
     filter_.SetCounts(slot, next, next);
     sketch_.Update(key, -static_cast<delta_t>(residual));
     ++stats_.sketch_updates;
+    ASKETCH_TELEMETRY_ONLY(++pending_.sketch_updates;)
     // The slack portion undoes filter-absorbed weight (N1); the residual
     // undoes weight that had reached the sketch (N2).
     DeductWeight(stats_.filtered_weight, slack);
@@ -491,10 +568,30 @@ class ASketch {
     counter -= std::min<wide_count_t>(counter, amount);
   }
 
+  /// Scalar-path auto-flush period for the pending telemetry block (see
+  /// PublishTelemetry): the registry trails by at most this many tuples.
+  static constexpr uint64_t kTelemetryFlushInterval = 1024;
+
+  /// Gross (monotonic) event deltas accrued since the last
+  /// PublishTelemetry — unlike stats_, never decremented by deletions,
+  /// matching the registry counters' monotonic semantics. Plain fields:
+  /// banking an event costs one cache-local add, cheaper than even the
+  /// sharded registry increment.
+  struct PendingTelemetry {
+    uint64_t filtered_weight = 0;
+    uint64_t sketch_weight = 0;
+    uint64_t sketch_updates = 0;
+    uint64_t exchanges = 0;
+    uint64_t exchange_writebacks = 0;
+    uint64_t deletions = 0;
+    uint64_t since_flush = 0;  ///< scalar Updates since the last flush
+  };
+
   FilterT filter_;
   SketchT sketch_;
   bool enable_exchanges_ = true;
   ASketchStats stats_;
+  ASKETCH_TELEMETRY_ONLY(PendingTelemetry pending_;)
 };
 
 /// Space-budget configuration for the MakeASketch* helpers. The filter is

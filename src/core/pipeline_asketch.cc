@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/obs/core_metrics.h"
+
 namespace asketch {
 
 PipelineASketch::PipelineASketch(const ASketchConfig& config,
@@ -17,12 +19,41 @@ PipelineASketch::PipelineASketch(const ASketchConfig& config,
       overload_(overload) {
   ASKETCH_CHECK(!config.Validate().has_value());
   ASKETCH_CHECK(overload_.max_push_spins >= 1);
+  ASKETCH_TELEMETRY_ONLY({
+    // Live forward-queue occupancy, labeled per pipeline instance;
+    // evaluated only when the registry is collected.
+    static std::atomic<uint64_t> next_instance{0};
+    const uint64_t instance =
+        next_instance.fetch_add(1, std::memory_order_relaxed);
+    queue_depth_gauge_id_ =
+        obs::MetricsRegistry::Global().RegisterCallbackGauge(
+            "asketch_pipeline_queue_depth",
+            "pipeline=\"" + std::to_string(instance) + "\"",
+            [this]() -> double {
+              return static_cast<double>(forward_.SizeApprox());
+            });
+  })
   worker_ = std::thread([this] { SketchStageMain(); });
 }
 
 PipelineASketch::~PipelineASketch() {
+  // Unregister first: it blocks until no Collect() is mid-callback, after
+  // which nothing outside can reach this instance.
+  ASKETCH_TELEMETRY_ONLY({
+    obs::MetricsRegistry::Global().UnregisterCallbackGauge(
+        queue_depth_gauge_id_);
+    obs::PipelineMetrics& metrics = obs::PipelineMetrics::Get();
+    if (stats_.degraded) metrics.degraded.Add(-1);
+    if (stats_.worker_dead) metrics.worker_dead.Add(-1);
+  })
   stop_.store(true, std::memory_order_release);
   worker_.join();
+}
+
+void PipelineASketch::MarkDegraded() {
+  if (stats_.degraded) return;
+  stats_.degraded = true;
+  ASKETCH_TELEMETRY_ONLY(obs::PipelineMetrics::Get().degraded.Add(1);)
 }
 
 PipelineASketch::PushResult PipelineASketch::PushForwardUpdate(
@@ -40,6 +71,8 @@ PipelineASketch::PushResult PipelineASketch::PushForwardUpdate(
       return PushResult::kQueued;
     }
     ++stats_.forward_full_spins;
+    ASKETCH_TELEMETRY_ONLY(
+        obs::PipelineMetrics::Get().forward_full_spins.Increment();)
     // Backpressure: briefly help by draining reverse messages so neither
     // side can deadlock on two full queues.
     DrainReverseQueue();
@@ -58,7 +91,7 @@ PipelineASketch::PushResult PipelineASketch::PushForwardUpdate(
     if (++spins >= overload_.max_push_spins) {
       // No drain runs between the Find above and ApplyOverload, so the
       // key is still sketch-resident: the inline update is safe.
-      stats_.degraded = true;
+      MarkDegraded();
       ApplyOverload(key, weight);
       return PushResult::kOverload;
     }
@@ -76,9 +109,11 @@ bool PipelineASketch::TryPushMark(item_t key) {
       return true;
     }
     ++stats_.forward_full_spins;
+    ASKETCH_TELEMETRY_ONLY(
+        obs::PipelineMetrics::Get().forward_full_spins.Increment();)
     std::this_thread::yield();
   }
-  stats_.degraded = true;
+  MarkDegraded();
   return false;
 }
 
@@ -92,15 +127,19 @@ void PipelineASketch::PushVictimWriteback(item_t key, count_t weight) {
       return;
     }
     ++stats_.forward_full_spins;
+    ASKETCH_TELEMETRY_ONLY(
+        obs::PipelineMetrics::Get().forward_full_spins.Increment();)
     std::this_thread::yield();
   }
-  stats_.degraded = true;
+  MarkDegraded();
   ApplyOverload(key, weight);
 }
 
 void PipelineASketch::ApplyOverload(item_t key, count_t weight) {
   if (overload_.policy == OverloadPolicy::kShed) {
     stats_.shed_tuples += weight;
+    ASKETCH_TELEMETRY_ONLY(
+        obs::PipelineMetrics::Get().shed_weight.Add(weight);)
     return;
   }
   {
@@ -108,11 +147,17 @@ void PipelineASketch::ApplyOverload(item_t key, count_t weight) {
     sketch_.Update(key, static_cast<delta_t>(weight));
   }
   ++stats_.inline_applied;
+  ASKETCH_TELEMETRY_ONLY(
+      obs::PipelineMetrics::Get().inline_applied.Increment();)
 }
 
 void PipelineASketch::OnWorkerDeath() {
-  stats_.worker_dead = true;
-  stats_.degraded = true;
+  if (!stats_.worker_dead) {
+    stats_.worker_dead = true;
+    ASKETCH_TELEMETRY_ONLY(
+        obs::PipelineMetrics::Get().worker_dead.Add(1);)
+  }
+  MarkDegraded();
   if (worker_absorbed_) return;
   worker_absorbed_ = true;
   // The worker set worker_dead_ (release) after its last queue access,
@@ -153,6 +198,8 @@ void PipelineASketch::Update(item_t key, delta_t delta) {
     filter_.AddToNewCount(slot, delta);
     if (was_min) PublishMin();
     ++stats_.filter_hits;
+    ASKETCH_TELEMETRY_ONLY(
+        obs::PipelineMetrics::Get().filter_hits.Increment();)
     return;
   }
   const count_t weight = static_cast<count_t>(
@@ -161,14 +208,20 @@ void PipelineASketch::Update(item_t key, delta_t delta) {
     filter_.Insert(key, weight, /*old_count=*/0);
     PublishMin();
     ++stats_.filter_hits;
+    ASKETCH_TELEMETRY_ONLY(
+        obs::PipelineMetrics::Get().filter_hits.Increment();)
     return;
   }
   switch (PushForwardUpdate(key, weight)) {
     case PushResult::kQueued:
       ++stats_.forwarded;
+      ASKETCH_TELEMETRY_ONLY(
+          obs::PipelineMetrics::Get().forwarded.Increment();)
       break;
     case PushResult::kAbsorbed:
       ++stats_.filter_hits;  // absorbed during backpressure
+      ASKETCH_TELEMETRY_ONLY(
+          obs::PipelineMetrics::Get().filter_hits.Increment();)
       break;
     case PushResult::kOverload:
       break;  // accounted as inline_applied or shed_tuples
@@ -181,6 +234,8 @@ void PipelineASketch::ApplyFixup(item_t key, count_t estimate) {
     // Evicted in the meantime; the eviction already wrote the exact
     // filter-era hits back to the sketch.
     ++stats_.fixups_dropped;
+    ASKETCH_TELEMETRY_ONLY(
+        obs::PipelineMetrics::Get().fixups_dropped.Increment();)
     return;
   }
   const count_t old_count = filter_.OldCount(slot);
@@ -195,6 +250,8 @@ void PipelineASketch::ApplyFixup(item_t key, count_t estimate) {
     PublishMin();
   }
   ++stats_.fixups_applied;
+  ASKETCH_TELEMETRY_ONLY(
+      obs::PipelineMetrics::Get().fixups_applied.Increment();)
 }
 
 void PipelineASketch::DrainReverseQueue() {
@@ -207,11 +264,15 @@ void PipelineASketch::DrainReverseQueue() {
           // Already resident (e.g. a duplicate candidate); nothing to do —
           // the pending fix-up of the first acceptance covers it.
           ++stats_.rejected_candidates;
+          ASKETCH_TELEMETRY_ONLY(
+              obs::PipelineMetrics::Get().rejected_candidates.Increment();)
           break;
         }
         if (filter_.size() == 0 ||
             msg.estimate <= filter_.MinNewCount()) {
           ++stats_.rejected_candidates;  // stale by the time it arrived
+          ASKETCH_TELEMETRY_ONLY(
+              obs::PipelineMetrics::Get().rejected_candidates.Increment();)
           break;
         }
         // Reserve the mark fence BEFORE touching the filter: if the
@@ -223,6 +284,8 @@ void PipelineASketch::DrainReverseQueue() {
         // forward queue between the mark and the Insert below.
         if (!TryPushMark(msg.key)) {
           ++stats_.rejected_candidates;
+          ASKETCH_TELEMETRY_ONLY(
+              obs::PipelineMetrics::Get().rejected_candidates.Increment();)
           break;
         }
         const FilterEntry victim = filter_.EvictMin();
@@ -233,6 +296,8 @@ void PipelineASketch::DrainReverseQueue() {
         filter_.Insert(msg.key, msg.estimate, msg.estimate);
         PublishMin();
         ++stats_.exchanges;
+        ASKETCH_TELEMETRY_ONLY(
+            obs::PipelineMetrics::Get().exchanges.Increment();)
         break;
       }
       case ReverseKind::kFixup: {

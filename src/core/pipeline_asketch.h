@@ -212,6 +212,10 @@ class PipelineASketch {
   /// Overload endgame for one tuple: inline sketch update or shed.
   void ApplyOverload(item_t key, count_t weight);
 
+  /// Latches stats_.degraded (and the registry gauge) on its first
+  /// false -> true transition. Filter-stage-owned, like stats_.
+  void MarkDegraded();
+
   /// Producer-side takeover after the worker died: absorbs the orphaned
   /// forward queue in FIFO order (updates into the sketch, marks into
   /// immediate fix-ups). Idempotent.
@@ -238,6 +242,10 @@ class PipelineASketch {
 
   PipelineOverloadOptions overload_;
   PipelineStats stats_;
+  /// Registry id of this instance's queue-depth callback gauge
+  /// (`asketch_pipeline_queue_depth{pipeline="N"}`); 0 when telemetry is
+  /// compiled out.
+  uint64_t queue_depth_gauge_id_ = 0;
   std::thread worker_;
 };
 

@@ -91,6 +91,15 @@ class SpscQueue {
            tail_.load(std::memory_order_acquire);
   }
 
+  /// Number of queued elements at this instant. Racy by nature (the two
+  /// indices are read independently); meant for monitoring gauges, not
+  /// for flow-control decisions.
+  size_t SizeApprox() const {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    return (head - tail) & mask_;
+  }
+
   /// Usable slots, NOT the constructor's requested capacity: the ring is
   /// sized to the next power of two above `capacity + 1` and one slot is
   /// sacrificed to distinguish full from empty, so this returns

@@ -1,0 +1,200 @@
+#include "src/obs/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace asketch {
+namespace obs {
+namespace {
+
+void Append(std::string* out, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void Append(std::string* out, const char* format, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, format);
+  const int n = std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  if (n > 0) out->append(buffer, std::min<size_t>(n, sizeof(buffer) - 1));
+}
+
+/// `name{labels}` or bare `name`; `extra` (e.g. le="...") is merged into
+/// the label set.
+void AppendSeries(std::string* out, const std::string& name,
+                  const std::string& labels, const std::string& extra) {
+  out->append(name);
+  if (!labels.empty() || !extra.empty()) {
+    out->push_back('{');
+    out->append(labels);
+    if (!labels.empty() && !extra.empty()) out->push_back(',');
+    out->append(extra);
+    out->push_back('}');
+  }
+}
+
+/// Renders a double the way Prometheus clients do: integers without a
+/// decimal point, everything else with enough digits to round-trip.
+void AppendNumber(std::string* out, double value) {
+  if (value == static_cast<double>(static_cast<int64_t>(value))) {
+    Append(out, "%" PRId64, static_cast<int64_t>(value));
+  } else {
+    Append(out, "%.17g", value);
+  }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          Append(out, "\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string last_type_line;
+  const auto type_line = [&out, &last_type_line](const std::string& name,
+                                                 const char* kind) {
+    // Labelled series of one family share a single TYPE line.
+    std::string line = "# TYPE " + name + " " + kind + "\n";
+    if (line != last_type_line) {
+      out.append(line);
+      last_type_line = std::move(line);
+    }
+  };
+  for (const CounterSample& c : snapshot.counters) {
+    type_line(c.name, "counter");
+    AppendSeries(&out, c.name, c.labels, "");
+    Append(&out, " %" PRIu64 "\n", c.value);
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    type_line(g.name, "gauge");
+    AppendSeries(&out, g.name, g.labels, "");
+    out.push_back(' ');
+    AppendNumber(&out, g.value);
+    out.push_back('\n');
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    type_line(h.name, "histogram");
+    // Last finite bucket worth emitting: everything after it is covered
+    // by +Inf.
+    uint32_t last = 0;
+    for (uint32_t i = 0; i < kHistogramBuckets; ++i) {
+      if (h.buckets[i] != 0) last = i;
+    }
+    uint64_t cumulative = 0;
+    for (uint32_t i = 0; i <= last; ++i) {
+      cumulative += h.buckets[i];
+      AppendSeries(&out, h.name + "_bucket", h.labels,
+                   "le=\"" + std::to_string(HistogramBucketUpperBound(i)) +
+                       "\"");
+      Append(&out, " %" PRIu64 "\n", cumulative);
+    }
+    AppendSeries(&out, h.name + "_bucket", h.labels, "le=\"+Inf\"");
+    Append(&out, " %" PRIu64 "\n", h.count);
+    AppendSeries(&out, h.name + "_sum", h.labels, "");
+    Append(&out, " %" PRIu64 "\n", h.sum);
+    AppendSeries(&out, h.name + "_count", h.labels, "");
+    Append(&out, " %" PRIu64 "\n", h.count);
+  }
+  return out;
+}
+
+std::string RenderMetricsJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"counters\":[";
+  bool first = true;
+  for (const CounterSample& c : snapshot.counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"name\":");
+    AppendJsonString(&out, c.name);
+    if (!c.labels.empty()) {
+      out.append(",\"labels\":");
+      AppendJsonString(&out, c.labels);
+    }
+    Append(&out, ",\"value\":%" PRIu64 "}", c.value);
+  }
+  out.append("],\"gauges\":[");
+  first = true;
+  for (const GaugeSample& g : snapshot.gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"name\":");
+    AppendJsonString(&out, g.name);
+    if (!g.labels.empty()) {
+      out.append(",\"labels\":");
+      AppendJsonString(&out, g.labels);
+    }
+    out.append(",\"value\":");
+    AppendNumber(&out, g.value);
+    out.push_back('}');
+  }
+  out.append("],\"histograms\":[");
+  first = true;
+  for (const HistogramSample& h : snapshot.histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"name\":");
+    AppendJsonString(&out, h.name);
+    if (!h.labels.empty()) {
+      out.append(",\"labels\":");
+      AppendJsonString(&out, h.labels);
+    }
+    Append(&out, ",\"count\":%" PRIu64 ",\"sum\":%" PRIu64
+                 ",\"max\":%" PRIu64,
+           h.count, h.sum, h.max);
+    out.append(",\"p50\":");
+    AppendNumber(&out, h.p50);
+    out.append(",\"p90\":");
+    AppendNumber(&out, h.p90);
+    out.append(",\"p99\":");
+    AppendNumber(&out, h.p99);
+    out.append(",\"buckets\":[");
+    bool first_bucket = true;
+    for (uint32_t i = 0; i <= kHistogramBuckets; ++i) {
+      if (h.buckets[i] == 0) continue;
+      if (!first_bucket) out.push_back(',');
+      first_bucket = false;
+      if (i == kHistogramBuckets) {
+        Append(&out, "{\"le\":null,\"count\":%" PRIu64 "}", h.buckets[i]);
+      } else {
+        Append(&out, "{\"le\":%" PRIu64 ",\"count\":%" PRIu64 "}",
+               HistogramBucketUpperBound(i), h.buckets[i]);
+      }
+    }
+    out.append("]}");
+  }
+  out.append("]}");
+  return out;
+}
+
+}  // namespace obs
+}  // namespace asketch

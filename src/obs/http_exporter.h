@@ -1,0 +1,81 @@
+// Tiny HTTP exporter for live metrics.
+//
+// MetricsHttpServer binds a loopback TCP port and serves registered paths
+// (typically /metrics → Prometheus text, /metrics.json, /stats,
+// /trace.json) from one background thread. It is deliberately minimal —
+// blocking accept loop woken by poll(), HTTP/1.0-style one-request
+// connections, no TLS, no keep-alive — because its job is `curl
+// localhost:PORT/metrics` and Prometheus scrapes during a benchmark or
+// soak run, not production traffic.
+//
+// Handlers run on the server thread; they must be thread-safe against the
+// instrumented program (registry Collect() already is).
+//
+// Only built on POSIX platforms; elsewhere Start() fails gracefully.
+
+#ifndef ASKETCH_OBS_HTTP_EXPORTER_H_
+#define ASKETCH_OBS_HTTP_EXPORTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+namespace asketch {
+namespace obs {
+
+class MetricsHttpServer {
+ public:
+  /// Returns the response body for one GET; the content type is declared
+  /// at registration.
+  using Handler = std::function<std::string()>;
+
+  MetricsHttpServer();
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Registers `handler` for exact-match GET `path` (e.g. "/metrics").
+  /// Must be called before Start().
+  void AddHandler(std::string path, std::string content_type,
+                  Handler handler);
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port) and starts the
+  /// serving thread. False if the platform lacks sockets or bind fails.
+  bool Start(uint16_t port);
+
+  /// Stops the serving thread and closes the socket (idempotent).
+  void Stop();
+
+  /// The bound port once Start() succeeded (resolves port 0 requests).
+  uint16_t port() const { return port_; }
+
+  /// Requests served so far (including 404s).
+  uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Route {
+    std::string content_type;
+    Handler handler;
+  };
+
+  void Serve();
+  void HandleConnection(int client_fd);
+
+  std::map<std::string, Route> routes_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace asketch
+
+#endif  // ASKETCH_OBS_HTTP_EXPORTER_H_

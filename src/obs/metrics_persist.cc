@@ -1,0 +1,100 @@
+#include "src/obs/metrics_persist.h"
+
+#include <string>
+
+namespace asketch {
+namespace obs {
+namespace {
+
+constexpr uint32_t kMetricsRecordMagic = 0x3152544du;  // "MTR1"
+constexpr uint32_t kMetricsRecordVersion = 1;
+
+/// Defensive caps: a flipped bit in a count field must not turn into a
+/// gigabyte allocation or an hours-long parse loop.
+constexpr uint32_t kMaxRecords = 65536;
+constexpr uint32_t kMaxNameLength = 1024;
+constexpr uint32_t kMaxBuckets = 4096;
+
+void PutString(BinaryWriter& writer, const std::string& s) {
+  writer.PutU32(static_cast<uint32_t>(s.size()));
+  writer.PutBytes(s.data(), s.size());
+}
+
+bool GetString(BinaryReader& reader, std::string* out) {
+  uint32_t length = 0;
+  if (!reader.GetU32(&length) || length > kMaxNameLength) return false;
+  out->resize(length);
+  return length == 0 || reader.GetBytes(out->data(), length);
+}
+
+}  // namespace
+
+bool SerializeMetricsTo(const MetricsRegistry& registry,
+                        BinaryWriter& writer) {
+  const MetricsSnapshot snapshot = registry.Collect();
+  writer.PutU32(kMetricsRecordMagic);
+  writer.PutU32(kMetricsRecordVersion);
+  writer.PutU32(static_cast<uint32_t>(snapshot.counters.size()));
+  for (const CounterSample& c : snapshot.counters) {
+    PutString(writer, c.name);
+    PutString(writer, c.labels);
+    writer.PutU64(c.value);
+  }
+  writer.PutU32(static_cast<uint32_t>(snapshot.histograms.size()));
+  for (const HistogramSample& h : snapshot.histograms) {
+    PutString(writer, h.name);
+    PutString(writer, h.labels);
+    writer.PutU32(kHistogramBuckets + 1);
+    for (const uint64_t bucket : h.buckets) writer.PutU64(bucket);
+    writer.PutU64(h.sum);
+    writer.PutU64(h.max);
+  }
+  return writer.ok();
+}
+
+bool RestoreMetricsInto(MetricsRegistry& registry, BinaryReader& reader) {
+  uint32_t magic = 0, version = 0;
+  if (!reader.GetU32(&magic) || magic != kMetricsRecordMagic) return false;
+  // Version-gated: this reader only understands version 1; a future
+  // writer bumping the version keeps old binaries from misparsing.
+  if (!reader.GetU32(&version) || version != kMetricsRecordVersion) {
+    return false;
+  }
+  uint32_t counter_count = 0;
+  if (!reader.GetU32(&counter_count) || counter_count > kMaxRecords) {
+    return false;
+  }
+  std::string name, labels;
+  for (uint32_t i = 0; i < counter_count; ++i) {
+    uint64_t value = 0;
+    if (!GetString(reader, &name) || !GetString(reader, &labels) ||
+        !reader.GetU64(&value)) {
+      return false;
+    }
+    if (value != 0) registry.GetCounter(name, labels).Add(value);
+  }
+  uint32_t hist_count = 0;
+  if (!reader.GetU32(&hist_count) || hist_count > kMaxRecords) return false;
+  for (uint32_t i = 0; i < hist_count; ++i) {
+    uint32_t n_buckets = 0;
+    if (!GetString(reader, &name) || !GetString(reader, &labels) ||
+        !reader.GetU32(&n_buckets) || n_buckets > kMaxBuckets) {
+      return false;
+    }
+    std::array<uint64_t, kHistogramBuckets + 1> buckets{};
+    for (uint32_t b = 0; b < n_buckets; ++b) {
+      uint64_t count = 0;
+      if (!reader.GetU64(&count)) return false;
+      // Buckets past this build's layout accumulate into overflow.
+      const uint32_t slot = b <= kHistogramBuckets ? b : kHistogramBuckets;
+      buckets[slot] += count;
+    }
+    uint64_t sum = 0, max = 0;
+    if (!reader.GetU64(&sum) || !reader.GetU64(&max)) return false;
+    registry.GetHistogram(name, labels).MergeCounts(buckets, sum, max);
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace asketch

@@ -1,0 +1,61 @@
+// Snapshot persistence for telemetry counters and histograms.
+//
+// Without this, a checkpoint/restore cycle silently resets every
+// cumulative metric: a recovered `asketch_cli checkpoint --recover` run
+// would report only the tuples ingested since the crash, and operator
+// dashboards would see counters jump backwards. The fix is a compact,
+// version-gated record that rides inside the application's snapshot
+// envelope (see tools/asketch_cli.cc's "CKP2" checkpoint tag): counter
+// values and histogram bucket arrays keyed by (name, labels).
+//
+// Restore is additive — values are merged into the live registry with
+// Counter::Add / Histogram::MergeCounts — so restoring on top of a
+// partially warmed process keeps totals monotonic, and restoring into a
+// fresh process reproduces the saved values exactly.
+//
+// Gauges are deliberately not persisted: they are instantaneous
+// observations (queue depth, degraded flags) that would be stale lies
+// after a restart.
+//
+// Record format (version 1, little-endian, inside whatever envelope the
+// caller provides):
+//
+//   u32 magic "MTR1"   u32 version (1)
+//   u32 counter_count  { str name, str labels, u64 value } ...
+//   u32 hist_count     { str name, str labels, u32 n_buckets,
+//                        u64 bucket[n_buckets], u64 sum, u64 max } ...
+//
+// where `str` is a u32 length + raw bytes. Readers are defensive: counts
+// and lengths are capped, and a histogram record with a different bucket
+// count than this build's kHistogramBuckets+1 maps buckets by index and
+// sends the remainder to the overflow bucket, so the record survives a
+// future re-bucketing.
+
+#ifndef ASKETCH_OBS_METRICS_PERSIST_H_
+#define ASKETCH_OBS_METRICS_PERSIST_H_
+
+#include "src/common/serialize.h"
+#include "src/obs/metrics.h"
+
+namespace asketch {
+namespace obs {
+
+/// Snapshot-envelope payload tag for a standalone metrics record
+/// ("TEL1"; application formats may also embed the record inline).
+inline constexpr uint32_t kMetricsPayloadType = 0x314c4554u;
+
+/// Writes every counter and histogram of `registry` (via Collect()) as a
+/// metrics record. Returns writer.ok().
+bool SerializeMetricsTo(const MetricsRegistry& registry,
+                        BinaryWriter& writer);
+
+/// Parses a metrics record and merges it into `registry` (see the file
+/// comment). False on malformed input; the registry may then hold a
+/// partially applied record (callers treat that as a corrupt snapshot
+/// and fall back a generation).
+bool RestoreMetricsInto(MetricsRegistry& registry, BinaryReader& reader);
+
+}  // namespace obs
+}  // namespace asketch
+
+#endif  // ASKETCH_OBS_METRICS_PERSIST_H_

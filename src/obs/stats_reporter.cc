@@ -1,0 +1,68 @@
+#include "src/obs/stats_reporter.h"
+
+#include "src/obs/export.h"
+
+namespace asketch {
+namespace obs {
+
+StatsReporter::StatsReporter(StatsReporterOptions options)
+    : options_(std::move(options)) {
+  if (options_.registry == nullptr) {
+    options_.registry = &MetricsRegistry::Global();
+  }
+}
+
+StatsReporter::~StatsReporter() { Stop(); }
+
+void StatsReporter::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void StatsReporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    running_ = false;
+  }
+  if (options_.report_on_stop) EmitOnce();
+}
+
+uint64_t StatsReporter::reports() const {
+  return reports_.load(std::memory_order_relaxed);
+}
+
+void StatsReporter::Loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, options_.interval, [this] { return stop_; })) {
+      break;
+    }
+    lock.unlock();
+    EmitOnce();
+    lock.lock();
+  }
+}
+
+void StatsReporter::EmitOnce() {
+  if (!options_.sink) return;
+  const MetricsSnapshot snapshot = options_.registry->Collect();
+  const std::string rendered =
+      options_.format == StatsReporterOptions::Format::kJson
+          ? RenderMetricsJson(snapshot)
+          : RenderPrometheusText(snapshot);
+  options_.sink(rendered);
+  reports_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace asketch

@@ -1,0 +1,75 @@
+// Background periodic metrics reporter.
+//
+// A StatsReporter owns one thread that snapshots a MetricsRegistry every
+// `interval` and hands the rendered exposition (Prometheus text or JSON)
+// to a sink callback — typically fwrite to stderr, a log shipper, or a
+// file. The registry is never locked for longer than Collect() takes, so
+// a reporter ticking at 1 Hz is invisible to the ingest hot path.
+//
+// Stop() (and the destructor) wakes the thread immediately and emits one
+// final report, so short-lived tools still get a complete last sample.
+
+#ifndef ASKETCH_OBS_STATS_REPORTER_H_
+#define ASKETCH_OBS_STATS_REPORTER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/obs/metrics.h"
+
+namespace asketch {
+namespace obs {
+
+struct StatsReporterOptions {
+  enum class Format { kPrometheus, kJson };
+
+  std::chrono::milliseconds interval{1000};
+  Format format = Format::kPrometheus;
+  /// Receives each rendered report. Called from the reporter thread; must
+  /// be thread-safe with respect to the rest of the program.
+  std::function<void(const std::string&)> sink;
+  /// Registry to report on; defaults to the global one.
+  MetricsRegistry* registry = nullptr;
+  /// Emit one final report when stopping (default on).
+  bool report_on_stop = true;
+};
+
+class StatsReporter {
+ public:
+  explicit StatsReporter(StatsReporterOptions options);
+  ~StatsReporter();
+
+  StatsReporter(const StatsReporter&) = delete;
+  StatsReporter& operator=(const StatsReporter&) = delete;
+
+  /// Starts the reporting thread (no-op if already running).
+  void Start();
+
+  /// Stops and joins the thread, emitting the final report (no-op if not
+  /// running).
+  void Stop();
+
+  /// Number of reports emitted so far.
+  uint64_t reports() const;
+
+ private:
+  void Loop();
+  void EmitOnce();
+
+  StatsReporterOptions options_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::atomic<uint64_t> reports_{0};
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace asketch
+
+#endif  // ASKETCH_OBS_STATS_REPORTER_H_

@@ -1,0 +1,172 @@
+// Minimal strict JSON validator for exporter tests: a recursive-descent
+// pass that accepts exactly the RFC 8259 grammar (no trailing commas, no
+// comments, no NaN/Infinity literals, one top-level value). It validates
+// only — tests that need values grep the raw string — so it stays a
+// header with no dependencies.
+
+#ifndef ASKETCH_TESTS_COMMON_JSON_CHECKER_H_
+#define ASKETCH_TESTS_COMMON_JSON_CHECKER_H_
+
+#include <cctype>
+#include <cstddef>
+#include <string_view>
+
+namespace asketch {
+namespace testing_support {
+
+class JsonChecker {
+ public:
+  /// True iff `text` is one valid JSON value with nothing but whitespace
+  /// around it.
+  static bool Valid(std::string_view text) {
+    JsonChecker checker(text);
+    checker.SkipWhitespace();
+    if (!checker.Value()) return false;
+    checker.SkipWhitespace();
+    return checker.pos_ == text.size();
+  }
+
+ private:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\n' ||
+                        Peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (AtEnd() || Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool Value() {
+    if (AtEnd()) return false;
+    switch (Peek()) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    if (!Consume('{')) return false;
+    SkipWhitespace();
+    if (Consume('}')) return true;
+    while (true) {
+      SkipWhitespace();
+      if (!String()) return false;
+      SkipWhitespace();
+      if (!Consume(':')) return false;
+      SkipWhitespace();
+      if (!Value()) return false;
+      SkipWhitespace();
+      if (Consume('}')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  bool Array() {
+    if (!Consume('[')) return false;
+    SkipWhitespace();
+    if (Consume(']')) return true;
+    while (true) {
+      SkipWhitespace();
+      if (!Value()) return false;
+      SkipWhitespace();
+      if (Consume(']')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  bool String() {
+    if (!Consume('"')) return false;
+    while (true) {
+      if (AtEnd()) return false;
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control characters are invalid
+      if (c == '\\') {
+        ++pos_;
+        if (AtEnd()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+  }
+
+  bool Digits() {
+    if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return false;
+    }
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+    return true;
+  }
+
+  bool Number() {
+    Consume('-');
+    if (AtEnd()) return false;
+    if (Peek() == '0') {
+      ++pos_;  // leading zero admits no further integer digits
+    } else if (!Digits()) {
+      return false;
+    }
+    if (!AtEnd() && Peek() == '.') {
+      ++pos_;
+      if (!Digits()) return false;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (!Digits()) return false;
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace testing_support
+}  // namespace asketch
+
+#endif  // ASKETCH_TESTS_COMMON_JSON_CHECKER_H_

@@ -1,0 +1,127 @@
+// Exporter tests: the Prometheus text rendering is pinned to a golden
+// file (tests/golden/exposition.prom) byte-for-byte, and the JSON dump
+// must satisfy a strict JSON grammar check. Regenerate the golden after
+// an intentional format change with
+//   ASKETCH_REGENERATE_GOLDEN=1 ./obs_export_test
+
+#include "src/obs/export.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/metrics.h"
+#include "tests/common/json_checker.h"
+
+namespace asketch {
+namespace obs {
+namespace {
+
+/// A deterministic snapshot exercising every exposition feature: bare and
+/// labelled counters sharing a family, negative and fractional gauges,
+/// histograms with zeros, overflow, and empty-bucket truncation.
+MetricsSnapshot GoldenSnapshot() {
+  MetricsRegistry registry;
+  registry.GetCounter("asketch_requests_total", "handler=\"/metrics\"")
+      .Add(3);
+  registry.GetCounter("asketch_requests_total", "handler=\"/stats\"")
+      .Add(1);
+  registry.GetCounter("asketch_tuples_total").Add(123456789);
+  registry.GetGauge("asketch_queue_depth").Set(-3);
+  registry.RegisterCallbackGauge("asketch_selectivity", "",
+                                 [] { return 0.25; });
+  Histogram& latency = registry.GetHistogram("asketch_update_batch_ns");
+  latency.Record(0);
+  latency.Record(1);
+  latency.Record(900);
+  latency.Record(900);
+  latency.Record(70000);
+  Histogram& overflow = registry.GetHistogram("asketch_huge_ns");
+  overflow.Record(uint64_t{1} << 60);  // overflow bucket only
+  return registry.Collect();
+}
+
+std::string GoldenPath() {
+  return std::string(ASKETCH_TEST_SRCDIR) + "/golden/exposition.prom";
+}
+
+TEST(PrometheusExportTest, MatchesGoldenFile) {
+  if (!TelemetryCompiledIn()) GTEST_SKIP() << "telemetry compiled out";
+  const std::string rendered = RenderPrometheusText(GoldenSnapshot());
+  if (std::getenv("ASKETCH_REGENERATE_GOLDEN") != nullptr) {
+    std::ofstream out(GoldenPath(), std::ios::binary);
+    out << rendered;
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
+    GTEST_SKIP() << "golden regenerated at " << GoldenPath();
+  }
+  std::ifstream in(GoldenPath(), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << GoldenPath();
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(rendered, expected.str())
+      << "Prometheus exposition drifted from the golden file; if the "
+         "change is intentional, regenerate with "
+         "ASKETCH_REGENERATE_GOLDEN=1";
+}
+
+TEST(PrometheusExportTest, SharedFamilyEmitsOneTypeLine) {
+  if (!TelemetryCompiledIn()) GTEST_SKIP() << "telemetry compiled out";
+  const std::string rendered = RenderPrometheusText(GoldenSnapshot());
+  size_t count = 0;
+  for (size_t pos = rendered.find("# TYPE asketch_requests_total");
+       pos != std::string::npos;
+       pos = rendered.find("# TYPE asketch_requests_total", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(PrometheusExportTest, HistogramSeriesIsCumulativeAndClosed) {
+  if (!TelemetryCompiledIn()) GTEST_SKIP() << "telemetry compiled out";
+  MetricsRegistry registry;
+  Histogram& histogram = registry.GetHistogram("h");
+  histogram.Record(2);
+  histogram.Record(3);
+  histogram.Record(5);
+  const std::string rendered = RenderPrometheusText(registry.Collect());
+  // Bucket of 2..3 holds 2; the cumulative series reaches 3 by le="7";
+  // +Inf always closes with the total count.
+  EXPECT_NE(rendered.find("h_bucket{le=\"3\"} 2\n"), std::string::npos);
+  EXPECT_NE(rendered.find("h_bucket{le=\"7\"} 3\n"), std::string::npos);
+  EXPECT_NE(rendered.find("h_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(rendered.find("h_sum 10\n"), std::string::npos);
+  EXPECT_NE(rendered.find("h_count 3\n"), std::string::npos);
+}
+
+TEST(JsonExportTest, RendersStrictlyValidJson) {
+  if (!TelemetryCompiledIn()) GTEST_SKIP() << "telemetry compiled out";
+  const std::string json = RenderMetricsJson(GoldenSnapshot());
+  EXPECT_TRUE(testing_support::JsonChecker::Valid(json)) << json;
+  // Spot-check content: percentile fields and the overflow bucket's null
+  // upper bound survive rendering.
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\":null,\"count\":1}"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"asketch_tuples_total\",\"value\":123456789"),
+            std::string::npos);
+}
+
+TEST(JsonExportTest, EmptySnapshotIsValidJson) {
+  const std::string json = RenderMetricsJson(MetricsSnapshot{});
+  EXPECT_TRUE(testing_support::JsonChecker::Valid(json)) << json;
+  EXPECT_EQ(json, "{\"counters\":[],\"gauges\":[],\"histograms\":[]}");
+}
+
+TEST(JsonExportTest, EscapesControlAndQuoteCharacters) {
+  MetricsSnapshot snapshot;
+  snapshot.counters.push_back({"weird\"name\\\n\x01", "", 1});
+  const std::string json = RenderMetricsJson(snapshot);
+  EXPECT_TRUE(testing_support::JsonChecker::Valid(json)) << json;
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace asketch

@@ -1,0 +1,134 @@
+// Tests for telemetry persistence (the "MTR1" record): round-trip into a
+// fresh registry, additive restore on a warm registry, histogram bucket
+// fidelity, and rejection of malformed records.
+
+#include "src/obs/metrics_persist.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/serialize.h"
+#include "src/obs/metrics.h"
+
+namespace asketch {
+namespace obs {
+namespace {
+
+std::vector<uint8_t> Serialize(const MetricsRegistry& registry) {
+  BinaryWriter writer;
+  EXPECT_TRUE(SerializeMetricsTo(registry, writer));
+  return writer.buffer();
+}
+
+TEST(MetricsPersistTest, RoundTripIntoFreshRegistry) {
+  if (!TelemetryCompiledIn()) GTEST_SKIP() << "telemetry compiled out";
+  MetricsRegistry source;
+  source.GetCounter("asketch_tuples_total").Add(1000);
+  source.GetCounter("asketch_spmd_tuples_total", "worker=\"2\"").Add(77);
+  Histogram& latency = source.GetHistogram("asketch_save_ns");
+  latency.Record(100);
+  latency.Record(5000);
+  const std::vector<uint8_t> bytes = Serialize(source);
+
+  MetricsRegistry restored;
+  BinaryReader reader(bytes.data(), bytes.size());
+  ASSERT_TRUE(RestoreMetricsInto(restored, reader));
+  EXPECT_EQ(restored.GetCounter("asketch_tuples_total").Value(), 1000u);
+  EXPECT_EQ(
+      restored.GetCounter("asketch_spmd_tuples_total", "worker=\"2\"")
+          .Value(),
+      77u);
+  const HistogramSample sample =
+      restored.GetHistogram("asketch_save_ns").Sample();
+  EXPECT_EQ(sample.count, 2u);
+  EXPECT_EQ(sample.sum, 5100u);
+  EXPECT_EQ(sample.max, 5000u);
+  EXPECT_EQ(sample.buckets[HistogramBucketIndex(100)], 1u);
+  EXPECT_EQ(sample.buckets[HistogramBucketIndex(5000)], 1u);
+}
+
+TEST(MetricsPersistTest, RestoreIsAdditiveOnWarmRegistry) {
+  if (!TelemetryCompiledIn()) GTEST_SKIP() << "telemetry compiled out";
+  MetricsRegistry source;
+  source.GetCounter("c").Add(10);
+  source.GetHistogram("h").Record(4);
+  const std::vector<uint8_t> bytes = Serialize(source);
+
+  // The restoring process already observed some events of its own; the
+  // checkpointed history merges on top instead of clobbering them.
+  MetricsRegistry warm;
+  warm.GetCounter("c").Add(5);
+  warm.GetHistogram("h").Record(4);
+  BinaryReader reader(bytes.data(), bytes.size());
+  ASSERT_TRUE(RestoreMetricsInto(warm, reader));
+  EXPECT_EQ(warm.GetCounter("c").Value(), 15u);
+  EXPECT_EQ(warm.GetHistogram("h").Sample().count, 2u);
+}
+
+TEST(MetricsPersistTest, GaugesAreNotPersisted) {
+  if (!TelemetryCompiledIn()) GTEST_SKIP() << "telemetry compiled out";
+  MetricsRegistry source;
+  source.GetGauge("asketch_queue_depth").Set(42);
+  source.GetCounter("kept").Add(1);
+  const std::vector<uint8_t> bytes = Serialize(source);
+  MetricsRegistry restored;
+  BinaryReader reader(bytes.data(), bytes.size());
+  ASSERT_TRUE(RestoreMetricsInto(restored, reader));
+  // Only the counter came back: the restored registry never learned the
+  // gauge's (stale) instantaneous value.
+  EXPECT_EQ(restored.MetricCount(), 1u);
+  EXPECT_EQ(restored.GetCounter("kept").Value(), 1u);
+}
+
+TEST(MetricsPersistTest, DoubleRestoreDoublesValues) {
+  if (!TelemetryCompiledIn()) GTEST_SKIP() << "telemetry compiled out";
+  // Documents the additive contract's sharp edge: applying the same
+  // record twice counts it twice (callers gate restore on recovery).
+  MetricsRegistry source;
+  source.GetCounter("c").Add(3);
+  const std::vector<uint8_t> bytes = Serialize(source);
+  MetricsRegistry restored;
+  BinaryReader first(bytes.data(), bytes.size());
+  ASSERT_TRUE(RestoreMetricsInto(restored, first));
+  BinaryReader second(bytes.data(), bytes.size());
+  ASSERT_TRUE(RestoreMetricsInto(restored, second));
+  EXPECT_EQ(restored.GetCounter("c").Value(), 6u);
+}
+
+TEST(MetricsPersistTest, RejectsTruncatedAndCorruptRecords) {
+  if (!TelemetryCompiledIn()) GTEST_SKIP() << "telemetry compiled out";
+  MetricsRegistry source;
+  source.GetCounter("c").Add(9);
+  source.GetHistogram("h").Record(2);
+  const std::vector<uint8_t> bytes = Serialize(source);
+
+  // Every strict prefix must be rejected, not crash or loop.
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    MetricsRegistry sink;
+    BinaryReader reader(bytes.data(), cut);
+    EXPECT_FALSE(RestoreMetricsInto(sink, reader)) << "prefix " << cut;
+  }
+
+  // A flipped magic byte must be rejected outright.
+  std::vector<uint8_t> corrupt = bytes;
+  corrupt[0] ^= 0xFF;
+  MetricsRegistry sink;
+  BinaryReader reader(corrupt.data(), corrupt.size());
+  EXPECT_FALSE(RestoreMetricsInto(sink, reader));
+}
+
+TEST(MetricsPersistTest, EmptyRegistrySerializesAndRestores) {
+  if (!TelemetryCompiledIn()) GTEST_SKIP() << "telemetry compiled out";
+  MetricsRegistry source;
+  const std::vector<uint8_t> bytes = Serialize(source);
+  MetricsRegistry restored;
+  BinaryReader reader(bytes.data(), bytes.size());
+  ASSERT_TRUE(RestoreMetricsInto(restored, reader));
+  EXPECT_EQ(restored.MetricCount(), 0u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace asketch
