@@ -1,0 +1,293 @@
+#include "src/net/client.h"
+
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ASKETCH_NET_SUPPORTED 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define ASKETCH_NET_SUPPORTED 0
+#endif
+
+namespace asketch {
+namespace net {
+
+Client::~Client() { Close(); }
+
+#if ASKETCH_NET_SUPPORTED
+
+std::optional<std::string> Client::Connect(const ClientOptions& options) {
+  if (fd_ >= 0) return std::string("already connected");
+  options_ = options;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::string("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return "bad host address: " + options.host;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return "connect to " + options.host + ":" +
+           std::to_string(options.port) + " failed";
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+
+  if (auto error = Send(EncodeHelloRequest(HelloRequest{}))) {
+    Close();
+    return error;
+  }
+  Frame response;
+  if (auto error = ReadResponse(Opcode::kHello, &response)) {
+    Close();
+    return error;
+  }
+  if (response.status == NetStatus::kVersionMismatch) {
+    std::string range = "?";
+    if (response.payload.size() == 8) {
+      uint32_t lo = 0, hi = 0;
+      std::memcpy(&lo, response.payload.data(), 4);
+      std::memcpy(&hi, response.payload.data() + 4, 4);
+      range = std::to_string(lo) + ".." + std::to_string(hi);
+    }
+    Close();
+    return "protocol version mismatch: client speaks " +
+           std::to_string(kProtocolVersionMin) + ".." +
+           std::to_string(kProtocolVersionMax) + ", server speaks " + range;
+  }
+  HelloResponse hello;
+  if (response.status != NetStatus::kOk ||
+      !ParseHelloResponse(response.payload, &hello)) {
+    Close();
+    return std::string("malformed HELLO response");
+  }
+  version_ = hello.version;
+  server_shards_ = hello.num_shards;
+  return std::nullopt;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  decoder_ = FrameDecoder{};
+  version_ = 0;
+  server_shards_ = 0;
+  sent_tuples_ = 0;
+  batches_since_ack_ = 0;
+  acks_requested_ = 0;
+  acks_received_ = 0;
+  last_ack_ = UpdateAck{};
+}
+
+std::optional<std::string> Client::Update(std::span<const Tuple> tuples) {
+  if (fd_ < 0) return std::string("not connected");
+  ++batches_since_ack_;
+  const bool want_ack = batches_since_ack_ >= options_.ack_every;
+  if (want_ack) {
+    batches_since_ack_ = 0;
+    ++acks_requested_;
+  }
+  if (auto error = Send(EncodeUpdateRequest(tuples, want_ack))) {
+    return error;
+  }
+  sent_tuples_ += tuples.size();
+  return AwaitAcks(options_.max_outstanding_acks);
+}
+
+std::optional<std::string> Client::Flush() {
+  if (fd_ < 0) return std::string("not connected");
+  ++acks_requested_;
+  batches_since_ack_ = 0;
+  if (auto error = Send(EncodeUpdateRequest({}, /*want_ack=*/true))) {
+    return error;
+  }
+  return AwaitAcks(0);
+}
+
+std::optional<std::string> Client::Query(item_t key, uint64_t* estimate) {
+  if (auto error = Send(EncodeQueryRequest(key))) return error;
+  Frame response;
+  if (auto error = ReadResponse(Opcode::kQuery, &response)) return error;
+  if (!ParseQueryResponse(response.payload, estimate)) {
+    return std::string("malformed QUERY response");
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> Client::QueryBatch(
+    std::span<const item_t> keys, std::vector<uint64_t>* estimates) {
+  if (auto error = Send(EncodeQueryBatchRequest(keys))) return error;
+  Frame response;
+  if (auto error = ReadResponse(Opcode::kQueryBatch, &response)) {
+    return error;
+  }
+  if (!ParseQueryBatchResponse(response.payload, estimates)) {
+    return std::string("malformed QUERY_BATCH response");
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> Client::TopK(uint32_t k,
+                                        std::vector<TopKEntry>* entries) {
+  if (auto error = Send(EncodeTopKRequest(k))) return error;
+  Frame response;
+  if (auto error = ReadResponse(Opcode::kTopK, &response)) return error;
+  if (!ParseTopKResponse(response.payload, entries)) {
+    return std::string("malformed TOPK response");
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> Client::Stats(WireStats* stats) {
+  if (auto error = Send(EncodeStatsRequest())) return error;
+  Frame response;
+  if (auto error = ReadResponse(Opcode::kStats, &response)) return error;
+  if (!ParseStatsResponse(response.payload, stats)) {
+    return std::string("malformed STATS response");
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> Client::Snapshot(StateDigest* digest) {
+  if (auto error = Send(EncodeSnapshotRequest())) return error;
+  Frame response;
+  if (auto error = ReadResponse(Opcode::kSnapshot, &response)) return error;
+  if (!ParseStateDigestResponse(response.payload, digest)) {
+    return std::string("malformed SNAPSHOT response");
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> Client::Digest(StateDigest* digest) {
+  if (auto error = Send(EncodeDigestRequest())) return error;
+  Frame response;
+  if (auto error = ReadResponse(Opcode::kDigest, &response)) return error;
+  if (!ParseStateDigestResponse(response.payload, digest)) {
+    return std::string("malformed DIGEST response");
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> Client::Send(
+    const std::vector<uint8_t>& frame) {
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) return std::string("send failed (connection lost)");
+    sent += static_cast<size_t>(n);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> Client::ReadResponse(Opcode expect, Frame* out) {
+  uint8_t buffer[64 * 1024];
+  for (;;) {
+    if (auto frame = decoder_.Next()) {
+      if (!frame->is_response()) {
+        return std::string("server sent a non-response frame");
+      }
+      if (frame->opcode == Opcode::kUpdate &&
+          frame->status == NetStatus::kOk && expect != Opcode::kUpdate) {
+        // A pipelined ack arriving ahead of the awaited response.
+        if (!ParseUpdateAck(frame->payload, &last_ack_)) {
+          return std::string("malformed UPDATE ack");
+        }
+        ++acks_received_;
+        continue;
+      }
+      if (frame->status != NetStatus::kOk &&
+          frame->status != NetStatus::kVersionMismatch) {
+        return std::string("server error (") +
+               std::string(NetStatusName(frame->status)) + "): " +
+               std::string(frame->payload.begin(), frame->payload.end());
+      }
+      if (frame->opcode != expect) {
+        return std::string("response opcode mismatch");
+      }
+      *out = std::move(*frame);
+      return std::nullopt;
+    }
+    if (decoder_.corrupt()) {
+      return std::string("corrupt frame from server");
+    }
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n <= 0) return std::string("connection closed by server");
+    decoder_.Feed(buffer, static_cast<size_t>(n));
+  }
+}
+
+std::optional<std::string> Client::AwaitAcks(uint32_t max_outstanding) {
+  while (acks_requested_ - acks_received_ > max_outstanding) {
+    Frame ack;
+    if (auto error = ReadResponse(Opcode::kUpdate, &ack)) return error;
+    if (!ParseUpdateAck(ack.payload, &last_ack_)) {
+      return std::string("malformed UPDATE ack");
+    }
+    ++acks_received_;
+  }
+  return std::nullopt;
+}
+
+#else  // !ASKETCH_NET_SUPPORTED
+
+std::optional<std::string> Client::Connect(const ClientOptions&) {
+  return std::string("asketch net client requires a POSIX socket API");
+}
+void Client::Close() {}
+std::optional<std::string> Client::Update(std::span<const Tuple>) {
+  return std::string("unsupported platform");
+}
+std::optional<std::string> Client::Flush() {
+  return std::string("unsupported platform");
+}
+std::optional<std::string> Client::Query(item_t, uint64_t*) {
+  return std::string("unsupported platform");
+}
+std::optional<std::string> Client::QueryBatch(std::span<const item_t>,
+                                              std::vector<uint64_t>*) {
+  return std::string("unsupported platform");
+}
+std::optional<std::string> Client::TopK(uint32_t,
+                                        std::vector<TopKEntry>*) {
+  return std::string("unsupported platform");
+}
+std::optional<std::string> Client::Stats(WireStats*) {
+  return std::string("unsupported platform");
+}
+std::optional<std::string> Client::Snapshot(StateDigest*) {
+  return std::string("unsupported platform");
+}
+std::optional<std::string> Client::Digest(StateDigest*) {
+  return std::string("unsupported platform");
+}
+std::optional<std::string> Client::Send(const std::vector<uint8_t>&) {
+  return std::string("unsupported platform");
+}
+std::optional<std::string> Client::ReadResponse(Opcode, Frame*) {
+  return std::string("unsupported platform");
+}
+std::optional<std::string> Client::AwaitAcks(uint32_t) {
+  return std::string("unsupported platform");
+}
+
+#endif  // ASKETCH_NET_SUPPORTED
+
+}  // namespace net
+}  // namespace asketch

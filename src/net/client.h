@@ -1,0 +1,102 @@
+// Blocking client for the asketchd protocol. Connect() performs the
+// HELLO negotiation; afterwards the client exposes one call per opcode.
+//
+// Update() is pipelined: batches are written fire-and-forget, with a
+// want-ack flag every `ack_every` batches, and the sender blocks only
+// when more than `max_outstanding_acks` requested acks are unread —
+// the windowing that makes 2M+ updates/s over loopback possible while
+// still bounding how far the client can run ahead of the server.
+// Synchronous calls (Query, Stats, ...) first drain any pending acks
+// interleaved ahead of their response.
+//
+// Not thread-safe: one Client per thread (asketch_loadgen opens one
+// connection per worker).
+
+#ifndef ASKETCH_NET_CLIENT_H_
+#define ASKETCH_NET_CLIENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/net/protocol.h"
+
+namespace asketch {
+namespace net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Request an ack every N Update() batches (1 = every batch).
+  uint32_t ack_every = 16;
+  /// Block once this many requested acks are unread.
+  uint32_t max_outstanding_acks = 4;
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// TCP connect + HELLO negotiation. On a version mismatch the error
+  /// message carries the server's supported range.
+  std::optional<std::string> Connect(const ClientOptions& options);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  uint32_t negotiated_version() const { return version_; }
+  uint32_t server_shards() const { return server_shards_; }
+
+  /// Pipelined batched ingest (see header comment). The returned error,
+  /// if any, is a transport failure — application-level shedding is
+  /// reported through acks (last_ack().shed_weight).
+  std::optional<std::string> Update(std::span<const Tuple> tuples);
+
+  /// Barrier: requests and awaits an ack covering everything sent so
+  /// far. The ack's received_tuples equals the client-side send count
+  /// on a healthy connection.
+  std::optional<std::string> Flush();
+
+  /// Most recent ack received (cumulative per-connection totals).
+  const UpdateAck& last_ack() const { return last_ack_; }
+  uint64_t sent_tuples() const { return sent_tuples_; }
+
+  std::optional<std::string> Query(item_t key, uint64_t* estimate);
+  std::optional<std::string> QueryBatch(std::span<const item_t> keys,
+                                        std::vector<uint64_t>* estimates);
+  std::optional<std::string> TopK(uint32_t k,
+                                  std::vector<TopKEntry>* entries);
+  std::optional<std::string> Stats(WireStats* stats);
+  std::optional<std::string> Snapshot(StateDigest* digest);
+  std::optional<std::string> Digest(StateDigest* digest);
+
+ private:
+  std::optional<std::string> Send(const std::vector<uint8_t>& frame);
+  /// Reads until a frame arrives; consumes interleaved UPDATE acks.
+  /// `expect` is the opcode whose response the caller awaits.
+  std::optional<std::string> ReadResponse(Opcode expect, Frame* out);
+  /// Blocks until at most `max_outstanding` requested acks are unread.
+  std::optional<std::string> AwaitAcks(uint32_t max_outstanding);
+
+  int fd_ = -1;
+  ClientOptions options_;
+  uint32_t version_ = 0;
+  uint32_t server_shards_ = 0;
+  FrameDecoder decoder_;
+  uint64_t sent_tuples_ = 0;
+  uint64_t batches_since_ack_ = 0;
+  uint32_t acks_requested_ = 0;
+  uint32_t acks_received_ = 0;
+  UpdateAck last_ack_;
+};
+
+}  // namespace net
+}  // namespace asketch
+
+#endif  // ASKETCH_NET_CLIENT_H_

@@ -1,0 +1,60 @@
+// Pre-resolved metric handles for the network serving layer, following
+// the core_metrics.h pattern: one registry lookup per process, then each
+// instrumentation site is a cache-local counter add.
+//
+// Per-shard queue depth is per-instance state, so it is not here: each
+// ShardSet registers callback gauges `asketch_net_shard_queue_depth`
+// labelled shard="N" (plus the shard="none" placeholder below keeping
+// the family present while no server is running).
+//
+// Metric naming (DESIGN.md §5): asketch_net_<what>[_total|_ns].
+
+#ifndef ASKETCH_NET_NET_METRICS_H_
+#define ASKETCH_NET_NET_METRICS_H_
+
+#include "src/obs/metrics.h"
+
+namespace asketch {
+namespace net {
+
+struct NetMetrics {
+  obs::Counter& connections_total;   ///< connections ever accepted
+  obs::Counter& frames_total;        ///< request frames decoded
+  obs::Counter& frame_errors_total;  ///< malformed/rejected frames
+  obs::Counter& update_batches;      ///< UPDATE frames applied
+  obs::Counter& update_tuples;       ///< tuples carried by UPDATE frames
+  obs::Counter& queries;             ///< QUERY + QUERY_BATCH keys answered
+  obs::Counter& shed_weight;         ///< weight dropped under overload
+  obs::Counter& inline_applied;      ///< tuples applied on the caller thread
+  obs::Counter& enqueue_waits;       ///< bounded waits on a full shard queue
+  obs::Gauge& connections;           ///< currently open connections
+  obs::Gauge& degraded;              ///< 1 while any shard queue overflowed
+  obs::Histogram& request_ns;        ///< wall time of one non-UPDATE request
+  obs::Gauge& queue_depth_idle;      ///< constant-0 shard="none" placeholder
+
+  static NetMetrics& Get() {
+    static NetMetrics* metrics = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+      return new NetMetrics{
+          r.GetCounter("asketch_net_connections_total"),
+          r.GetCounter("asketch_net_frames_total"),
+          r.GetCounter("asketch_net_frame_errors_total"),
+          r.GetCounter("asketch_net_update_batches_total"),
+          r.GetCounter("asketch_net_update_tuples_total"),
+          r.GetCounter("asketch_net_queries_total"),
+          r.GetCounter("asketch_net_shed_weight_total"),
+          r.GetCounter("asketch_net_inline_applied_total"),
+          r.GetCounter("asketch_net_enqueue_waits_total"),
+          r.GetGauge("asketch_net_connections"),
+          r.GetGauge("asketch_net_degraded"),
+          r.GetHistogram("asketch_net_request_ns"),
+          r.GetGauge("asketch_net_shard_queue_depth", "shard=\"none\"")};
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace net
+}  // namespace asketch
+
+#endif  // ASKETCH_NET_NET_METRICS_H_

@@ -1,0 +1,361 @@
+#include "src/net/shard_set.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "src/common/crc32c.h"
+#include "src/net/net_metrics.h"
+#include "src/obs/metrics.h"
+
+namespace asketch {
+namespace net {
+
+namespace {
+
+constexpr uint32_t kShardSetMagic = 0x31445253u;  // "SRD1"
+
+uint64_t BatchWeight(std::span<const Tuple> tuples) {
+  uint64_t weight = 0;
+  for (const Tuple& t : tuples) weight += t.value;
+  return weight;
+}
+
+}  // namespace
+
+std::optional<std::string> ShardSetOptions::Validate() const {
+  if (num_shards < 1) return std::string("num_shards must be >= 1");
+  if (max_queue_batches < 1) {
+    return std::string("max_queue_batches must be >= 1");
+  }
+  return shard_config.Validate();
+}
+
+ShardSet::ShardSet(const ShardSetOptions& options) : options_(options) {
+  ASKETCH_CHECK(!options.Validate().has_value());
+  shards_.reserve(options.num_shards);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  for (uint32_t i = 0; i < options.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(
+        MakeASketchCountMin<RelaxedHeapFilter>(options.shard_config)));
+    Shard* shard = shards_.back().get();
+    gauge_ids_.push_back(registry.RegisterCallbackGauge(
+        "asketch_net_shard_queue_depth",
+        "shard=\"" + std::to_string(i) + "\"", [shard]() -> double {
+          std::lock_guard<std::mutex> lock(shard->queue_mu);
+          return static_cast<double>(shard->queue.size());
+        }));
+  }
+  // The placeholder series keeps the family present before/after any
+  // ShardSet instance is alive (same trick as the pipeline gauge).
+  NetMetrics::Get();
+  for (auto& shard : shards_) {
+    shard->worker = std::thread([this, s = shard.get()] { WorkerLoop(*s); });
+  }
+}
+
+ShardSet::~ShardSet() {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  for (const uint64_t id : gauge_ids_) {
+    registry.UnregisterCallbackGauge(id);
+  }
+  stop_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->queue_mu);
+    shard->cv_pop.notify_all();
+    shard->cv_push.notify_all();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+void ShardSet::WorkerLoop(Shard& shard) {
+  for (;;) {
+    std::vector<Tuple> batch;
+    {
+      std::unique_lock<std::mutex> lock(shard.queue_mu);
+      shard.cv_pop.wait(lock, [&] {
+        const bool stop = stop_.load(std::memory_order_acquire);
+        if (shard.queue.empty()) return stop;
+        // A stop request overrides the test stall: remaining queued
+        // batches are applied before the worker exits, so ~ShardSet
+        // never strands acknowledged tuples.
+        return stop || !stalled_.load(std::memory_order_acquire);
+      });
+      if (shard.queue.empty()) return;  // only reachable when stopping
+      batch = std::move(shard.queue.front());
+      shard.queue.pop_front();
+      shard.busy = true;
+      shard.cv_push.notify_one();
+    }
+    {
+      std::lock_guard<std::mutex> guard(shard.mu);
+      shard.sketch.UpdateBatch(batch);
+      shard.applied_tuples += batch.size();
+    }
+    {
+      std::lock_guard<std::mutex> lock(shard.queue_mu);
+      shard.busy = false;
+      if (shard.queue.empty()) shard.cv_idle.notify_all();
+    }
+  }
+}
+
+uint64_t ShardSet::Ingest(std::span<const Tuple> tuples) {
+  const uint32_t n = num_shards();
+  // Split by owning shard, preserving arrival order within each shard.
+  std::vector<std::vector<Tuple>> split(n);
+  for (const Tuple& t : tuples) {
+    split[ShardOf(t.key, n)].push_back(t);
+  }
+  NetMetrics& metrics = NetMetrics::Get();
+  uint64_t shed = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (split[i].empty()) continue;
+    Shard& shard = *shards_[i];
+    std::vector<Tuple> batch = std::move(split[i]);
+    bool enqueued = false;
+    {
+      std::unique_lock<std::mutex> lock(shard.queue_mu);
+      if (shard.queue.size() >= options_.max_queue_batches) {
+        metrics.enqueue_waits.Add(1);
+        shard.cv_push.wait_for(
+            lock, std::chrono::milliseconds(options_.max_enqueue_wait_ms),
+            [&] {
+              return shard.queue.size() < options_.max_queue_batches ||
+                     stop_.load(std::memory_order_acquire);
+            });
+      }
+      if (shard.queue.size() < options_.max_queue_batches &&
+          !stop_.load(std::memory_order_acquire)) {
+        shard.queue.push_back(std::move(batch));
+        shard.cv_pop.notify_one();
+        enqueued = true;
+      }
+    }
+    if (enqueued) continue;
+    // Bounded wait exhausted: degrade. Sticky gauge — an operator seeing
+    // asketch_net_degraded == 1 knows at least one queue overflowed
+    // since startup (the *_total counters say how much).
+    metrics.degraded.Set(1);
+    if (options_.overload == OverloadPolicy::kInlineApply) {
+      std::lock_guard<std::mutex> guard(shard.mu);
+      shard.sketch.UpdateBatch(batch);
+      shard.applied_tuples += batch.size();
+      inline_applied_.fetch_add(batch.size(), std::memory_order_relaxed);
+      metrics.inline_applied.Add(batch.size());
+    } else {
+      const uint64_t weight = BatchWeight(batch);
+      shed_weight_.fetch_add(weight, std::memory_order_relaxed);
+      metrics.shed_weight.Add(weight);
+      shed += weight;
+    }
+  }
+  return shed;
+}
+
+void ShardSet::Drain() {
+  for (auto& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard->queue_mu);
+    shard->cv_idle.wait(lock, [&] {
+      return shard->queue.empty() && !shard->busy;
+    });
+  }
+}
+
+count_t ShardSet::Estimate(item_t key) const {
+  const Shard& shard = *shards_[ShardOf(key, num_shards())];
+  std::lock_guard<std::mutex> guard(shard.mu);
+  return shard.sketch.Estimate(key);
+}
+
+std::vector<TopKEntry> ShardSet::TopK(uint32_t k) const {
+  std::vector<TopKEntry> merged;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> guard(shard->mu);
+    for (const FilterEntry& e : shard->sketch.TopK()) {
+      merged.push_back(TopKEntry{
+          e.key, e.new_count,
+          static_cast<uint64_t>(e.new_count - e.old_count)});
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const TopKEntry& a, const TopKEntry& b) {
+              if (a.estimate != b.estimate) return a.estimate > b.estimate;
+              return a.key < b.key;
+            });
+  if (merged.size() > k) merged.resize(k);
+  return merged;
+}
+
+WireStats ShardSet::GetStats() const {
+  WireStats stats;
+  stats.num_shards = num_shards();
+  stats.shed_weight = shed_weight_.load(std::memory_order_relaxed);
+  stats.inline_applied = inline_applied_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> guard(shard->mu);
+    const ASketchStats& s = shard->sketch.stats();
+    stats.ingested += shard->applied_tuples;
+    stats.filtered_weight += s.filtered_weight;
+    stats.sketch_weight += s.sketch_weight;
+    stats.exchanges += s.exchanges;
+    stats.sketch_updates += s.sketch_updates;
+    stats.memory_bytes += shard->sketch.MemoryUsageBytes();
+    stats.per_shard_ingested.push_back(shard->applied_tuples);
+  }
+  return stats;
+}
+
+std::vector<uint8_t> ShardSet::SerializeLocked() const {
+  BinaryWriter writer;
+  writer.PutU32(kShardSetMagic);
+  writer.PutU32(num_shards());
+  writer.PutU64(shed_weight_.load(std::memory_order_relaxed));
+  writer.PutU64(inline_applied_.load(std::memory_order_relaxed));
+  for (const auto& shard : shards_) {
+    writer.PutU64(shard->applied_tuples);
+    if (!shard->sketch.SerializeTo(writer)) return {};
+  }
+  return writer.buffer();
+}
+
+std::optional<std::string> ShardSet::RestoreLocked(
+    std::span<const uint8_t> payload) {
+  BinaryReader reader(payload.data(), payload.size());
+  uint32_t magic = 0;
+  uint32_t shard_count = 0;
+  uint64_t shed = 0;
+  uint64_t inline_applied = 0;
+  if (!reader.GetU32(&magic) || magic != kShardSetMagic ||
+      !reader.GetU32(&shard_count) || !reader.GetU64(&shed) ||
+      !reader.GetU64(&inline_applied)) {
+    return std::string("shard-set payload: bad header");
+  }
+  if (shard_count != num_shards()) {
+    return "shard-set payload holds " + std::to_string(shard_count) +
+           " shards but this server runs " + std::to_string(num_shards()) +
+           " (the key partition depends on the shard count; restart with "
+           "a matching --shards)";
+  }
+  // Parse everything before committing, so a truncated payload cannot
+  // leave the set half-restored.
+  std::vector<uint64_t> applied(shard_count);
+  std::vector<ServingSketch> sketches;
+  sketches.reserve(shard_count);
+  for (uint32_t i = 0; i < shard_count; ++i) {
+    if (!reader.GetU64(&applied[i])) {
+      return std::string("shard-set payload: truncated shard header");
+    }
+    auto sketch = ServingSketch::DeserializeFrom(reader);
+    if (!sketch.has_value()) {
+      return "shard-set payload: shard " + std::to_string(i) +
+             " failed to deserialize";
+    }
+    sketches.push_back(*std::move(sketch));
+  }
+  for (uint32_t i = 0; i < shard_count; ++i) {
+    shards_[i]->sketch = std::move(sketches[i]);
+    shards_[i]->applied_tuples = applied[i];
+  }
+  shed_weight_.store(shed, std::memory_order_relaxed);
+  inline_applied_.store(inline_applied, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+std::vector<uint8_t> ShardSet::SerializeState(StateDigest* digest) {
+  Drain();
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& shard : shards_) locks.emplace_back(shard->mu);
+  std::vector<uint8_t> payload = SerializeLocked();
+  if (digest != nullptr) {
+    digest->generation = 0;
+    digest->ingested = 0;
+    for (const auto& shard : shards_) {
+      digest->ingested += shard->applied_tuples;
+    }
+    digest->digest = Crc32c(payload.data(), payload.size());
+  }
+  return payload;
+}
+
+std::optional<std::string> ShardSet::RestoreState(
+    std::span<const uint8_t> payload) {
+  Drain();
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& shard : shards_) locks.emplace_back(shard->mu);
+  return RestoreLocked(payload);
+}
+
+std::optional<std::string> ShardSet::SaveSnapshot(SnapshotStore& store,
+                                                  StateDigest* digest) {
+  Drain();
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& shard : shards_) locks.emplace_back(shard->mu);
+  std::vector<uint8_t> payload = SerializeLocked();
+  if (payload.empty()) {
+    return std::string("shard-set serialization failed");
+  }
+  // Re-adopt the serialized form (the CLI's SaveAndReload discipline),
+  // then serialize again: deserialization re-heapifies the filters, which
+  // can reorder entries, so only the second serialization is a fixpoint
+  // of save -> recover -> serialize. Persisting the canonical bytes makes
+  // the digest returned here match what a --recover'd server reports.
+  if (auto error = RestoreLocked(payload)) {
+    return "post-save re-adoption failed: " + *error;
+  }
+  payload = SerializeLocked();
+  if (payload.empty()) {
+    return std::string("shard-set serialization failed");
+  }
+  if (auto error = store.Save(kShardSetPayloadType, payload)) return error;
+  if (digest != nullptr) {
+    digest->generation = store.LatestGeneration();
+    digest->ingested = 0;
+    for (const auto& shard : shards_) {
+      digest->ingested += shard->applied_tuples;
+    }
+    digest->digest = Crc32c(payload.data(), payload.size());
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> ShardSet::RecoverFromStore(
+    const SnapshotStore& store, StateDigest* digest) {
+  std::string error;
+  const auto loaded = store.Load(kShardSetPayloadType, &error);
+  if (!loaded.has_value()) {
+    return "recovery failed: " + (error.empty() ? "no snapshot" : error);
+  }
+  if (auto restore_error = RestoreState(loaded->payload)) {
+    return restore_error;
+  }
+  if (digest != nullptr) {
+    digest->generation = loaded->generation;
+    digest->ingested = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> guard(shard->mu);
+      digest->ingested += shard->applied_tuples;
+    }
+    digest->digest =
+        Crc32c(loaded->payload.data(), loaded->payload.size());
+  }
+  return std::nullopt;
+}
+
+void ShardSet::StallWorkersForTesting(bool stalled) {
+  stalled_.store(stalled, std::memory_order_release);
+  if (!stalled) {
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->queue_mu);
+      shard->cv_pop.notify_all();
+    }
+  }
+}
+
+}  // namespace net
+}  // namespace asketch

@@ -1,0 +1,174 @@
+// A keyspace-sharded group of ASketch instances with per-shard ingest
+// workers — the serving-side analogue of the paper's SPMD evaluation
+// (§6, Fig. 13): each shard owns a disjoint key partition, so point
+// queries route to exactly one shard and the merged TOPK report is the
+// exact union of the per-shard reports (no cross-shard double counting).
+//
+// Ingest is asynchronous: UPDATE batches are split by shard and pushed
+// onto bounded per-shard queues drained by one worker thread each via
+// ASketch::UpdateBatch. When a queue stays full past the bounded wait,
+// the pipeline overload policy applies (reusing OverloadPolicy from
+// pipeline_asketch.h): kInlineApply applies the sub-batch on the caller
+// thread under the shard mutex (one-sided guarantee intact, caller pays
+// the cycles), kShed drops it and accounts the weight. Both paths are
+// reported through NetMetrics and WireStats.
+//
+// Queries read the *applied* state: tuples still queued are not yet
+// visible. SNAPSHOT and DIGEST therefore drain all queues first, making
+// them barriers — every tuple enqueued before the call is reflected in
+// the cut.
+//
+// Persistence mirrors asketch_cli's checkpoint discipline: SaveSnapshot
+// serializes all shards into one SnapshotStore generation (payload tag
+// "SRD1"), then re-adopts the deserialized form, so the live state, the
+// on-disk state, and any --recover'd state are bit-identical under
+// serialization — the CRC32C digest returned here equals the digest a
+// recovered server reports.
+
+#ifndef ASKETCH_NET_SHARD_SET_H_
+#define ASKETCH_NET_SHARD_SET_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/snapshot.h"
+#include "src/common/types.h"
+#include "src/core/asketch.h"
+#include "src/core/pipeline_asketch.h"
+#include "src/net/protocol.h"
+
+namespace asketch {
+namespace net {
+
+/// The serving synopsis type — the same composition asketch_cli
+/// persists, so operators can inspect asketchd snapshots with the CLI's
+/// tooling conventions.
+using ServingSketch = ASketch<RelaxedHeapFilter, CountMin>;
+
+/// Snapshot payload tag for a serialized ShardSet ("SRD1" — application
+/// namespace, top byte outside the library's 0x41 composed tags).
+inline constexpr uint32_t kShardSetPayloadType = 0x31445253u;
+
+/// Owning shard of `key`: Fibonacci multiplicative hash, then modulo.
+/// Deterministic and config-independent, so any client can precompute
+/// shard affinity; documented in docs/PROTOCOL.md.
+inline uint32_t ShardOf(item_t key, uint32_t num_shards) {
+  return (key * 2654435761u) % num_shards;
+}
+
+struct ShardSetOptions {
+  uint32_t num_shards = 4;
+  ASketchConfig shard_config;
+  /// Bounded per-shard queue length, in batches.
+  size_t max_queue_batches = 64;
+  /// How long Ingest waits on a full queue before degrading.
+  uint32_t max_enqueue_wait_ms = 100;
+  OverloadPolicy overload = OverloadPolicy::kInlineApply;
+
+  std::optional<std::string> Validate() const;
+};
+
+class ShardSet {
+ public:
+  explicit ShardSet(const ShardSetOptions& options);
+  ~ShardSet();
+
+  ShardSet(const ShardSet&) = delete;
+  ShardSet& operator=(const ShardSet&) = delete;
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+
+  /// Splits `tuples` by shard and enqueues per-shard sub-batches. Blocks
+  /// at most max_enqueue_wait_ms per full queue, then degrades per the
+  /// overload policy. Returns the weight shed (0 under kInlineApply).
+  uint64_t Ingest(std::span<const Tuple> tuples);
+
+  /// Blocks until every queued batch has been applied and all workers
+  /// are idle. Concurrent Ingest calls may refill queues afterwards.
+  void Drain();
+
+  /// Point query against the applied state of the owning shard.
+  count_t Estimate(item_t key) const;
+
+  /// Merged heavy-hitter report: per-shard filter contents, globally
+  /// sorted by descending estimate, truncated to `k`. Exact union —
+  /// shards partition the keyspace.
+  std::vector<TopKEntry> TopK(uint32_t k) const;
+
+  /// Aggregate counters across shards (snapshot_generation left 0; the
+  /// server fills it in from its SnapshotStore).
+  WireStats GetStats() const;
+
+  /// Drains, then serializes every shard into one payload. The digest is
+  /// CRC32C over that payload.
+  std::vector<uint8_t> SerializeState(StateDigest* digest = nullptr);
+
+  /// Replaces all shard state from a SerializeState payload. Returns an
+  /// error message on malformed payloads or a shard-count mismatch (the
+  /// partition function depends on num_shards, so a snapshot can only be
+  /// adopted by a server with the same --shards).
+  std::optional<std::string> RestoreState(std::span<const uint8_t> payload);
+
+  /// Drain + serialize + store.Save + re-adopt. On success fills
+  /// `digest` (generation, ingested, CRC32C of the saved payload).
+  std::optional<std::string> SaveSnapshot(SnapshotStore& store,
+                                          StateDigest* digest);
+
+  /// Recovers from the newest valid generation in `store`. Returns the
+  /// recovered digest, or an error message.
+  std::optional<std::string> RecoverFromStore(const SnapshotStore& store,
+                                              StateDigest* digest);
+
+  /// Test hook: while stalled, workers stop popping batches, so queues
+  /// fill deterministically and the overload paths can be exercised.
+  void StallWorkersForTesting(bool stalled);
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;  ///< guards sketch + applied
+    ServingSketch sketch;
+    uint64_t applied_tuples = 0;  ///< tuples applied (worker + inline)
+
+    std::mutex queue_mu;
+    std::condition_variable cv_push;  ///< signalled when space frees up
+    std::condition_variable cv_pop;   ///< signalled when work arrives
+    std::condition_variable cv_idle;  ///< signalled when fully drained
+    std::deque<std::vector<Tuple>> queue;
+    bool busy = false;  ///< worker currently applying a batch
+    std::thread worker;
+
+    explicit Shard(ServingSketch s) : sketch(std::move(s)) {}
+  };
+
+  void WorkerLoop(Shard& shard);
+  /// Serializes all shards; caller must hold every shard.mu.
+  std::vector<uint8_t> SerializeLocked() const;
+  /// Deserializes `payload` into the shards; caller must hold every
+  /// shard.mu. Returns an error message on failure (state unchanged).
+  std::optional<std::string> RestoreLocked(
+      std::span<const uint8_t> payload);
+
+  ShardSetOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> stalled_{false};
+  std::atomic<uint64_t> shed_weight_{0};
+  std::atomic<uint64_t> inline_applied_{0};
+  std::vector<uint64_t> gauge_ids_;
+};
+
+}  // namespace net
+}  // namespace asketch
+
+#endif  // ASKETCH_NET_SHARD_SET_H_

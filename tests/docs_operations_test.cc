@@ -1,0 +1,128 @@
+// Pins the metric reference table in docs/OPERATIONS.md against the
+// live registry: every family the instrumented code registers must be
+// documented with the correct type, and every documented family must
+// exist. A metric added, removed, or re-typed without updating the doc
+// fails here, so the operator documentation cannot drift silently —
+// the companion of net_protocol_test's PROTOCOL.md pinning.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/spmd_group.h"
+#include "src/net/net_metrics.h"
+#include "src/obs/core_metrics.h"
+#include "src/obs/metrics.h"
+
+namespace asketch {
+namespace {
+
+std::string ReadOperationsDoc() {
+  const std::string path =
+      std::string(ASKETCH_REPO_ROOT) + "/docs/OPERATIONS.md";
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return "";
+  std::string text;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(f);
+  return text;
+}
+
+/// Parses `| \`name\` | type | ...` rows between the metrics-table
+/// markers into name -> type.
+std::map<std::string, std::string> DocumentedMetrics(
+    const std::string& doc) {
+  std::map<std::string, std::string> metrics;
+  const size_t begin = doc.find("<!-- metrics-table-begin -->");
+  const size_t end = doc.find("<!-- metrics-table-end -->");
+  if (begin == std::string::npos || end == std::string::npos) {
+    return metrics;
+  }
+  size_t pos = begin;
+  while (pos < end) {
+    const size_t eol = doc.find('\n', pos);
+    const std::string line = doc.substr(pos, eol - pos);
+    pos = eol == std::string::npos ? end : eol + 1;
+    // Row shape: | `asketch_...` | counter | meaning |
+    if (line.rfind("| `asketch_", 0) != 0) continue;
+    const size_t name_end = line.find('`', 3);
+    if (name_end == std::string::npos) continue;
+    const std::string name = line.substr(3, name_end - 3);
+    const size_t type_begin = line.find("| ", name_end);
+    if (type_begin == std::string::npos) continue;
+    const size_t type_end = line.find(' ', type_begin + 2);
+    if (type_end == std::string::npos) continue;
+    metrics[name] = line.substr(type_begin + 2, type_end - type_begin - 2);
+  }
+  return metrics;
+}
+
+/// Touches every instrumented subsystem so all lazily-registered
+/// families exist, then snapshots the global registry as name -> type.
+std::map<std::string, std::string> LiveMetrics() {
+  obs::IngestMetrics::Get();
+  obs::PipelineMetrics::Get();
+  obs::SnapshotMetrics::Get();
+  net::NetMetrics::Get();
+  // The SPMD families register inside Process() worker threads.
+  ASketchConfig config;
+  config.total_bytes = 16 * 1024;
+  config.width = 4;
+  config.filter_items = 16;
+  SpmdAsketchGroup group(1, config);
+  const std::vector<Tuple> stream{{1, 1}, {2, 1}};
+  group.Process(stream);
+
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Global().Collect();
+  std::map<std::string, std::string> metrics;
+  for (const auto& counter : snapshot.counters) {
+    metrics[counter.name] = "counter";
+  }
+  for (const auto& gauge : snapshot.gauges) {
+    metrics[gauge.name] = "gauge";
+  }
+  for (const auto& histogram : snapshot.histograms) {
+    metrics[histogram.name] = "histogram";
+  }
+  return metrics;
+}
+
+TEST(OperationsDoc, MetricTableMatchesLiveRegistry) {
+  if (!obs::TelemetryCompiledIn()) GTEST_SKIP() << "telemetry compiled out";
+  const std::string doc = ReadOperationsDoc();
+  ASSERT_FALSE(doc.empty()) << "docs/OPERATIONS.md missing";
+  const auto documented = DocumentedMetrics(doc);
+  ASSERT_FALSE(documented.empty())
+      << "docs/OPERATIONS.md metrics-table markers missing or empty";
+  const auto live = LiveMetrics();
+  ASSERT_FALSE(live.empty());
+
+  for (const auto& [name, type] : live) {
+    const auto it = documented.find(name);
+    if (it == documented.end()) {
+      ADD_FAILURE() << "metric `" << name
+                    << "` is registered but not documented in "
+                       "docs/OPERATIONS.md";
+    } else {
+      EXPECT_EQ(it->second, type)
+          << "docs/OPERATIONS.md documents `" << name << "` as "
+          << it->second << " but the registry exposes a " << type;
+    }
+  }
+  for (const auto& [name, type] : documented) {
+    EXPECT_TRUE(live.count(name) != 0)
+        << "docs/OPERATIONS.md documents `" << name
+        << "` (" << type << ") but no such metric is registered";
+  }
+}
+
+}  // namespace
+}  // namespace asketch

@@ -1,0 +1,348 @@
+// Wire-protocol unit tests: frame codec round trips, incremental
+// decoding, the corrupt-stream poisoning rule, capacity-cap enforcement
+// mirroring the PR-2 deserializer discipline, a seeded garbage fuzz, and
+// the version-negotiation matrix pinned against docs/PROTOCOL.md so the
+// spec and the code cannot drift silently.
+
+#include "src/net/protocol.h"
+
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "src/common/serialize.h"
+
+namespace asketch {
+namespace net {
+namespace {
+
+Frame DecodeOne(const std::vector<uint8_t>& bytes) {
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  auto frame = decoder.Next();
+  EXPECT_TRUE(frame.has_value());
+  EXPECT_FALSE(decoder.corrupt());
+  EXPECT_EQ(decoder.buffered(), 0u);
+  return frame.value_or(Frame{});
+}
+
+TEST(FrameCodec, HeaderLayout) {
+  const auto bytes =
+      EncodeFrame(Opcode::kQuery, kFlagResponse, NetStatus::kOk,
+                  std::vector<uint8_t>{0xaa, 0xbb});
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytes + 2);
+  // length counts opcode+flags+status+payload, little-endian.
+  EXPECT_EQ(bytes[0], 6u);
+  EXPECT_EQ(bytes[1], 0u);
+  EXPECT_EQ(bytes[4], static_cast<uint8_t>(Opcode::kQuery));
+  EXPECT_EQ(bytes[5], kFlagResponse);
+}
+
+TEST(FrameCodec, RoundTrip) {
+  const std::vector<uint8_t> payload{1, 2, 3, 4, 5};
+  const Frame frame = DecodeOne(
+      EncodeFrame(Opcode::kUpdate, kFlagWantAck, NetStatus::kOk, payload));
+  EXPECT_EQ(frame.opcode, Opcode::kUpdate);
+  EXPECT_TRUE(frame.want_ack());
+  EXPECT_FALSE(frame.is_response());
+  EXPECT_EQ(frame.status, NetStatus::kOk);
+  EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(FrameCodec, EmptyPayload) {
+  const Frame frame = DecodeOne(EncodeStatsRequest());
+  EXPECT_EQ(frame.opcode, Opcode::kStats);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(FrameDecoderTest, ByteAtATime) {
+  const auto bytes = EncodeQueryRequest(0xdeadbeef);
+  FrameDecoder decoder;
+  for (size_t i = 0; i + 1 < bytes.size(); ++i) {
+    decoder.Feed(&bytes[i], 1);
+    EXPECT_FALSE(decoder.Next().has_value());
+  }
+  decoder.Feed(&bytes.back(), 1);
+  const auto frame = decoder.Next();
+  ASSERT_TRUE(frame.has_value());
+  item_t key = 0;
+  EXPECT_TRUE(ParseQueryRequest(frame->payload, &key));
+  EXPECT_EQ(key, 0xdeadbeefu);
+}
+
+TEST(FrameDecoderTest, MultipleFramesOneFeed) {
+  auto bytes = EncodeQueryRequest(1);
+  const auto second = EncodeTopKRequest(5);
+  bytes.insert(bytes.end(), second.begin(), second.end());
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  auto a = decoder.Next();
+  auto b = decoder.Next();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->opcode, Opcode::kQuery);
+  EXPECT_EQ(b->opcode, Opcode::kTopK);
+  EXPECT_FALSE(decoder.Next().has_value());
+}
+
+TEST(FrameDecoderTest, OversizedLengthPoisons) {
+  uint8_t bytes[8] = {};
+  const uint32_t length = 4 + kMaxFramePayloadBytes + 1;
+  std::memcpy(bytes, &length, 4);
+  FrameDecoder decoder;
+  decoder.Feed(bytes, sizeof(bytes));
+  EXPECT_FALSE(decoder.Next().has_value());
+  EXPECT_TRUE(decoder.corrupt());
+  // A poisoned decoder stays poisoned: further bytes are ignored.
+  const auto good = EncodeStatsRequest();
+  decoder.Feed(good.data(), good.size());
+  EXPECT_FALSE(decoder.Next().has_value());
+}
+
+TEST(FrameDecoderTest, UndersizedLengthPoisons) {
+  uint8_t bytes[4] = {3, 0, 0, 0};  // below the 4-byte header tail
+  FrameDecoder decoder;
+  decoder.Feed(bytes, sizeof(bytes));
+  EXPECT_FALSE(decoder.Next().has_value());
+  EXPECT_TRUE(decoder.corrupt());
+}
+
+TEST(FrameDecoderTest, TruncatedFrameNeverDelivers) {
+  const auto bytes = EncodeQueryRequest(7);
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size() - 1);
+  EXPECT_FALSE(decoder.Next().has_value());
+  EXPECT_FALSE(decoder.corrupt());
+  EXPECT_EQ(decoder.buffered(), bytes.size() - 1);
+}
+
+// Seeded garbage fuzz: random byte streams must never crash, over-read
+// (ASan would flag it), or deliver a frame with an out-of-bounds
+// payload. The decoder either yields well-formed frames or poisons.
+TEST(FrameDecoderTest, GarbageFuzz) {
+  std::mt19937 rng(20260807);
+  for (int round = 0; round < 200; ++round) {
+    FrameDecoder decoder;
+    std::uniform_int_distribution<int> len_dist(1, 512);
+    std::uniform_int_distribution<int> byte_dist(0, 255);
+    for (int feed = 0; feed < 8 && !decoder.corrupt(); ++feed) {
+      std::vector<uint8_t> chunk(len_dist(rng));
+      for (auto& b : chunk) b = static_cast<uint8_t>(byte_dist(rng));
+      decoder.Feed(chunk.data(), chunk.size());
+      while (auto frame = decoder.Next()) {
+        EXPECT_LE(frame->payload.size(), kMaxFramePayloadBytes);
+        // Parsers must reject or accept without crashing.
+        std::vector<Tuple> tuples;
+        ParseUpdateRequest(frame->payload, &tuples);
+        std::vector<item_t> keys;
+        ParseQueryBatchRequest(frame->payload, &keys);
+        WireStats stats;
+        ParseStatsResponse(frame->payload, &stats);
+      }
+    }
+  }
+}
+
+TEST(TypedPayloads, HelloRoundTrip) {
+  const Frame frame = DecodeOne(EncodeHelloRequest(HelloRequest{}));
+  HelloRequest hello{0, 0, 0};
+  ASSERT_TRUE(ParseHelloRequest(frame.payload, &hello));
+  EXPECT_EQ(hello.magic, kProtocolMagic);
+  EXPECT_EQ(hello.min_version, kProtocolVersionMin);
+  EXPECT_EQ(hello.max_version, kProtocolVersionMax);
+
+  const Frame reply = DecodeOne(EncodeHelloResponse(HelloResponse{1, 4}));
+  HelloResponse parsed;
+  ASSERT_TRUE(ParseHelloResponse(reply.payload, &parsed));
+  EXPECT_EQ(parsed.version, 1u);
+  EXPECT_EQ(parsed.num_shards, 4u);
+}
+
+TEST(TypedPayloads, HelloRejectsBadMagic) {
+  BinaryWriter writer;
+  writer.PutU32(0x12345678u);
+  writer.PutU32(1);
+  writer.PutU32(1);
+  HelloRequest hello;
+  EXPECT_FALSE(ParseHelloRequest(writer.buffer(), &hello));
+}
+
+TEST(TypedPayloads, UpdateRoundTrip) {
+  const std::vector<Tuple> tuples{{1, 2}, {3, 4}, {5, 1}};
+  const Frame frame = DecodeOne(EncodeUpdateRequest(tuples, true));
+  EXPECT_TRUE(frame.want_ack());
+  std::vector<Tuple> parsed;
+  ASSERT_TRUE(ParseUpdateRequest(frame.payload, &parsed));
+  EXPECT_EQ(parsed, tuples);
+}
+
+TEST(TypedPayloads, UpdateRejectsLyingCount) {
+  // Declares 3 tuples but carries 2: byte cross-check must fail.
+  BinaryWriter writer;
+  writer.PutU32(3);
+  for (int i = 0; i < 2; ++i) {
+    writer.PutU32(1);
+    writer.PutU32(1);
+  }
+  std::vector<Tuple> parsed;
+  EXPECT_FALSE(ParseUpdateRequest(writer.buffer(), &parsed));
+  // Trailing garbage after the declared tuples must also fail.
+  BinaryWriter trailing;
+  trailing.PutU32(1);
+  trailing.PutU32(1);
+  trailing.PutU32(1);
+  trailing.PutU8(0);
+  EXPECT_FALSE(ParseUpdateRequest(trailing.buffer(), &parsed));
+}
+
+TEST(TypedPayloads, UpdateRejectsCountBeyondCap) {
+  BinaryWriter writer;
+  writer.PutU32(kMaxBatchTuples + 1);
+  std::vector<Tuple> parsed;
+  EXPECT_FALSE(ParseUpdateRequest(writer.buffer(), &parsed));
+}
+
+TEST(TypedPayloads, QueryBatchRejectsCountBeyondCap) {
+  BinaryWriter writer;
+  writer.PutU32(kMaxQueryKeys + 1);
+  std::vector<item_t> parsed;
+  EXPECT_FALSE(ParseQueryBatchRequest(writer.buffer(), &parsed));
+}
+
+TEST(TypedPayloads, TopKRoundTrip) {
+  const std::vector<TopKEntry> entries{{7, 100, 40}, {9, 50, 50}};
+  const Frame frame = DecodeOne(EncodeTopKResponse(entries));
+  std::vector<TopKEntry> parsed;
+  ASSERT_TRUE(ParseTopKResponse(frame.payload, &parsed));
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].key, 7u);
+  EXPECT_EQ(parsed[0].estimate, 100u);
+  EXPECT_EQ(parsed[1].exact_hits, 50u);
+}
+
+TEST(TypedPayloads, StatsRoundTrip) {
+  WireStats stats;
+  stats.num_shards = 4;
+  stats.ingested = 1'000'000;
+  stats.shed_weight = 5;
+  stats.filtered_weight = 900'000;
+  stats.sketch_weight = 100'000;
+  stats.per_shard_ingested = {1, 2, 3, 4};
+  const Frame frame = DecodeOne(EncodeStatsResponse(stats));
+  WireStats parsed;
+  ASSERT_TRUE(ParseStatsResponse(frame.payload, &parsed));
+  EXPECT_EQ(parsed.ingested, stats.ingested);
+  EXPECT_EQ(parsed.per_shard_ingested, stats.per_shard_ingested);
+}
+
+TEST(TypedPayloads, DigestRoundTrip) {
+  const StateDigest digest{42, 1'000'000, 0xdeadbeef};
+  const Frame frame =
+      DecodeOne(EncodeStateDigestResponse(Opcode::kSnapshot, digest));
+  EXPECT_EQ(frame.opcode, Opcode::kSnapshot);
+  StateDigest parsed;
+  ASSERT_TRUE(ParseStateDigestResponse(frame.payload, &parsed));
+  EXPECT_EQ(parsed.generation, 42u);
+  EXPECT_EQ(parsed.ingested, 1'000'000u);
+  EXPECT_EQ(parsed.digest, 0xdeadbeefu);
+}
+
+TEST(TypedPayloads, ErrorResponseCarriesMessage) {
+  const Frame frame = DecodeOne(EncodeErrorResponse(
+      Opcode::kTopK, NetStatus::kBadRequest, "k out of range"));
+  EXPECT_EQ(frame.opcode, Opcode::kTopK);
+  EXPECT_TRUE(frame.is_response());
+  EXPECT_EQ(frame.status, NetStatus::kBadRequest);
+  EXPECT_EQ(std::string(frame.payload.begin(), frame.payload.end()),
+            "k out of range");
+}
+
+TEST(Negotiation, Matrix) {
+  // Equal single-version ranges.
+  EXPECT_EQ(NegotiateVersion(1, 1, 1, 1), 1u);
+  // Overlap picks the highest common version.
+  EXPECT_EQ(NegotiateVersion(1, 3, 2, 5), 3u);
+  EXPECT_EQ(NegotiateVersion(2, 5, 1, 3), 3u);
+  // Disjoint ranges fail.
+  EXPECT_EQ(NegotiateVersion(1, 1, 2, 3), std::nullopt);
+  EXPECT_EQ(NegotiateVersion(4, 5, 1, 3), std::nullopt);
+  // Inverted ranges are malformed.
+  EXPECT_EQ(NegotiateVersion(2, 1, 1, 1), std::nullopt);
+  EXPECT_EQ(NegotiateVersion(1, 1, 3, 2), std::nullopt);
+}
+
+// ---------------------------------------------------------------------
+// Doc pinning: docs/PROTOCOL.md carries a machine-readable constants
+// line and an opcode table; this test fails when either disagrees with
+// the code, so the spec cannot drift silently.
+// ---------------------------------------------------------------------
+
+std::string ReadProtocolDoc() {
+  const std::string path =
+      std::string(ASKETCH_REPO_ROOT) + "/docs/PROTOCOL.md";
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return "";
+  std::string text;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(f);
+  return text;
+}
+
+TEST(ProtocolDoc, ConstantsMatchCode) {
+  const std::string doc = ReadProtocolDoc();
+  ASSERT_FALSE(doc.empty()) << "docs/PROTOCOL.md missing";
+  char expected[160];
+  std::snprintf(expected, sizeof(expected),
+                "<!-- protocol-constants: version_min=%u version_max=%u "
+                "magic=0x%08x max_payload=%u -->",
+                kProtocolVersionMin, kProtocolVersionMax, kProtocolMagic,
+                kMaxFramePayloadBytes);
+  EXPECT_NE(doc.find(expected), std::string::npos)
+      << "docs/PROTOCOL.md protocol-constants line disagrees with "
+         "src/net/protocol.h; expected: "
+      << expected;
+}
+
+TEST(ProtocolDoc, OpcodeTableMatchesCode) {
+  const std::string doc = ReadProtocolDoc();
+  ASSERT_FALSE(doc.empty()) << "docs/PROTOCOL.md missing";
+  const struct {
+    Opcode opcode;
+    const char* name;
+  } kOpcodes[] = {
+      {Opcode::kHello, "HELLO"},         {Opcode::kUpdate, "UPDATE"},
+      {Opcode::kQuery, "QUERY"},         {Opcode::kQueryBatch, "QUERY_BATCH"},
+      {Opcode::kTopK, "TOPK"},           {Opcode::kStats, "STATS"},
+      {Opcode::kSnapshot, "SNAPSHOT"},   {Opcode::kDigest, "DIGEST"},
+  };
+  for (const auto& entry : kOpcodes) {
+    char row[64];
+    std::snprintf(row, sizeof(row), "| `0x%02x` | `%s` |",
+                  static_cast<unsigned>(entry.opcode), entry.name);
+    EXPECT_NE(doc.find(row), std::string::npos)
+        << "docs/PROTOCOL.md opcode table missing or stale row: " << row;
+  }
+}
+
+TEST(ProtocolDoc, StatusTableMatchesCode) {
+  const std::string doc = ReadProtocolDoc();
+  ASSERT_FALSE(doc.empty()) << "docs/PROTOCOL.md missing";
+  for (uint16_t code = 0; code <= 8; ++code) {
+    const auto status = static_cast<NetStatus>(code);
+    char row[64];
+    std::snprintf(row, sizeof(row), "| %u | `%s` |", code,
+                  std::string(NetStatusName(status)).c_str());
+    EXPECT_NE(doc.find(row), std::string::npos)
+        << "docs/PROTOCOL.md status table missing or stale row: " << row;
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace asketch

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Documentation consistency checks, run as a ctest and as the CI docs
+# job:
+#   1. every relative markdown link in *.md and docs/*.md resolves to a
+#      file in the tree;
+#   2. every `asketch_cli <subcommand>` named in the user-facing docs
+#      exists in `asketch_cli` usage output;
+#   3. every `--flag` attributed to asketchd / asketch_loadgen in the
+#      docs (and every flag in docs/OPERATIONS.md) exists in the usage
+#      output of one of the shipped tools.
+# The deeper doc pins — PROTOCOL.md constants/opcodes and the
+# OPERATIONS.md metric table — are compiled tests (net_protocol_test,
+# docs_operations_test); this script covers what grep can.
+#
+# usage: tools/check_docs.sh [build_dir]
+set -u
+
+REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD_DIR=${1:-"$REPO_ROOT/build"}
+fail=0
+
+# User-facing docs: tool subcommands/flags mentioned here must exist.
+USER_DOCS=("$REPO_ROOT/README.md" "$REPO_ROOT/DESIGN.md"
+           "$REPO_ROOT/EXPERIMENTS.md" "$REPO_ROOT"/docs/*.md)
+
+# ---------------------------------------------------------------- links
+for file in "$REPO_ROOT"/*.md "$REPO_ROOT"/docs/*.md; do
+  [ -f "$file" ] || continue
+  dir=$(dirname "$file")
+  while IFS= read -r link; do
+    target=${link%%#*}
+    [ -z "$target" ] && continue          # pure #anchor
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    if [ ! -e "$dir/$target" ]; then
+      echo "FAIL dead link in ${file#"$REPO_ROOT"/}: ($link)"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$file" | sed 's/^](//; s/)$//')
+done
+
+# ----------------------------------------------------- tool usage texts
+# Every tool answers --help (an unrecognized flag) with its usage text
+# and a prompt nonzero exit. Never invoke a tool bare here: asketchd
+# with no arguments starts a server and blocks.
+usage_of() {
+  "$1" --help 2>&1
+  true
+}
+for tool in asketch_cli asketchd asketch_loadgen make_stream; do
+  if [ ! -x "$BUILD_DIR/tools/$tool" ]; then
+    echo "FAIL missing binary $BUILD_DIR/tools/$tool (build tools first)"
+    exit 1
+  fi
+done
+ALL_USAGE=$(for t in asketch_cli asketchd asketch_loadgen make_stream; do
+              usage_of "$BUILD_DIR/tools/$t"
+            done)
+CLI_USAGE=$(usage_of "$BUILD_DIR/tools/asketch_cli")
+
+# ------------------------------------------------- asketch_cli subcmds
+# `asketch_cli foo` in docs (prose or fenced code) names a subcommand.
+for sub in $(grep -ohE 'asketch_cli +[a-z][a-z-]*' "${USER_DOCS[@]}" \
+               2>/dev/null | awk '{print $2}' | sort -u); do
+  if ! printf '%s\n' "$CLI_USAGE" | grep -qE "(^|[^a-z-])$sub([^a-z-]|$)"; then
+    echo "FAIL documented asketch_cli subcommand '$sub' not in usage output"
+    fail=1
+  fi
+done
+
+# ------------------------------------------------------------- flags
+# Flags the docs attribute to the daemon/loadgen inline, plus every
+# flag named anywhere in the operator guide.
+{
+  grep -ohE '(asketchd|asketch_loadgen) +--[a-z][a-z-]*' \
+       "${USER_DOCS[@]}" 2>/dev/null | grep -oE '\-\-[a-z-]+'
+  grep -ohE '\-\-[a-z][a-z-]*' "$REPO_ROOT/docs/OPERATIONS.md"
+} | sort -u | while IFS= read -r flag; do
+  if ! printf '%s\n' "$ALL_USAGE" | grep -qF -- "$flag"; then
+    echo "FAIL documented flag '$flag' not in any tool's usage output"
+    # `while` runs in a subshell: signal through a marker file.
+    touch "$BUILD_DIR/.check_docs_flag_fail"
+  fi
+done
+if [ -e "$BUILD_DIR/.check_docs_flag_fail" ]; then
+  rm -f "$BUILD_DIR/.check_docs_flag_fail"
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs.sh: FAILED"
+  exit 1
+fi
+echo "check_docs.sh: OK (links, subcommands, flags)"
