@@ -1,0 +1,58 @@
+// Free-function atomic views over plain storage (std::atomic_ref).
+//
+// The lock-free read path (DESIGN.md §5c) leaves hot-path data in
+// ordinary vectors/members — the single writer keeps mutating them with
+// plain-cost store instructions — while concurrent readers observe them
+// through atomic_ref loads. Every cross-thread access goes through these
+// helpers so the protocol is auditable at the call sites and the builds
+// under -fsanitize=thread see matching atomic access pairs (a plain
+// store racing an atomic load is still a data race).
+//
+// On x86-64 all four helpers compile to plain MOVs; the memory orders
+// only constrain compiler reordering.
+
+#ifndef ASKETCH_COMMON_ATOMIC_UTIL_H_
+#define ASKETCH_COMMON_ATOMIC_UTIL_H_
+
+#include <atomic>
+
+namespace asketch {
+
+/// Relaxed atomic load of a plain location. Use when ordering against
+/// other locations is established elsewhere (or monotonicity makes any
+/// interleaving acceptable, as for Count-Min cells on insert-only
+/// streams).
+template <typename T>
+inline T RelaxedLoad(const T& location) {
+  return std::atomic_ref<T>(const_cast<T&>(location))
+      .load(std::memory_order_relaxed);
+}
+
+/// Relaxed atomic store to a plain location (single-writer data whose
+/// publication order is carried by a later release store).
+template <typename T>
+inline void RelaxedStore(T& location, T value) {
+  std::atomic_ref<T>(location).store(value, std::memory_order_relaxed);
+}
+
+/// Acquire load: no later access in this thread may be reordered before
+/// it. The seqlock reader uses this for its data loads, which pins the
+/// validating sequence re-read after every one of them (seqlock.h).
+template <typename T>
+inline T AcquireLoad(const T& location) {
+  return std::atomic_ref<T>(const_cast<T&>(location))
+      .load(std::memory_order_acquire);
+}
+
+/// Release store: no earlier access in this thread may be reordered
+/// after it. The seqlock writer uses this for its data stores, which
+/// pins each store after the odd sequence bump that opened the write
+/// section.
+template <typename T>
+inline void ReleaseStore(T& location, T value) {
+  std::atomic_ref<T>(location).store(value, std::memory_order_release);
+}
+
+}  // namespace asketch
+
+#endif  // ASKETCH_COMMON_ATOMIC_UTIL_H_

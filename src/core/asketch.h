@@ -35,6 +35,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <concepts>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -256,13 +257,50 @@ class ASketch {
     filter_.ForEach([&entries](const FilterEntry& e) {
       entries.push_back(e);
     });
-    std::sort(entries.begin(), entries.end(),
-              [](const FilterEntry& a, const FilterEntry& b) {
-                if (a.new_count != b.new_count) {
-                  return a.new_count > b.new_count;
-                }
-                return a.key < b.key;
-              });
+    SortTopK(&entries);
+    return entries;
+  }
+
+  /// Algorithm 2 against a concurrently-updated instance, without any
+  /// lock: the filter lookup runs under its seqlock (retrying torn
+  /// snapshots) and a miss falls through to relaxed atomic sketch reads.
+  /// Requires a single concurrent writer (the normal shard discipline).
+  ///
+  /// One-sidedness survives the races (DESIGN.md §5c): a validated
+  /// filter snapshot is a state the filter actually passed through, and
+  /// the exchange path writes the victim's exact delta back to the
+  /// sketch *before* evicting it, so by the time a reader can see a key
+  /// absent from the filter the sketch already carries all of its mass
+  /// — with insert-only cells the min can only sit at or above the true
+  /// prefix count. `*retries` accumulates torn-snapshot retries.
+  count_t EstimateConcurrent(item_t key, uint64_t* retries = nullptr) const
+      requires requires(const FilterT& f, const SketchT& s, item_t k,
+                        count_t* c, uint64_t* r) {
+        { f.SnapshotFind(k, c, r) } -> std::same_as<bool>;
+        { s.EstimateRelaxed(k) } -> std::same_as<count_t>;
+      }
+  {
+    count_t count = 0;
+    // Filter first, sketch second: if the key is mid-exchange, the
+    // snapshot that no longer holds it was published after the sketch
+    // writeback, which the seqlock's release/acquire pairing then makes
+    // visible to the sketch reads below.
+    if (filter_.SnapshotFind(key, &count, retries)) return count;
+    return sketch_.EstimateRelaxed(key);
+  }
+
+  /// TopK against a concurrently-updated instance; the entries come from
+  /// one validated seqlock snapshot of the filter, so the report is a
+  /// state the filter actually passed through.
+  std::vector<FilterEntry> TopKConcurrent(uint64_t* retries = nullptr) const
+      requires requires(const FilterT& f, std::vector<FilterEntry>* out,
+                        uint64_t* r) {
+        f.SnapshotEntries(out, r);
+      }
+  {
+    std::vector<FilterEntry> entries;
+    filter_.SnapshotEntries(&entries, retries);
+    SortTopK(&entries);
     return entries;
   }
 
@@ -365,6 +403,45 @@ class ASketch {
     return std::nullopt;
   }
 
+  /// Whether AdoptFrom(other) can replace this instance's state without
+  /// reallocating the buffers lock-free readers are scanning. Always
+  /// true for component types without in-place adoption (AdoptFrom then
+  /// falls back to move assignment — only safe without concurrent
+  /// readers).
+  bool CanAdoptFrom(const ASketch& other) const {
+    if constexpr (requires(const FilterT& f, const SketchT& s) {
+                    { f.CanAdoptFrom(f) } -> std::same_as<bool>;
+                    { s.CanAdoptFrom(s) } -> std::same_as<bool>;
+                  }) {
+      return filter_.CanAdoptFrom(other.filter_) &&
+             sketch_.CanAdoptFrom(other.sketch_);
+    } else {
+      return true;
+    }
+  }
+
+  /// Replaces this instance's state with `other`'s. When both components
+  /// support in-place adoption the buffers are reused, so readers racing
+  /// the adoption via EstimateConcurrent/TopKConcurrent never touch
+  /// freed memory (the ShardSet restore path depends on this). Requires
+  /// CanAdoptFrom(other); the caller must exclude concurrent writers.
+  void AdoptFrom(ASketch&& other) {
+    if constexpr (requires(FilterT& f, FilterT&& fo, SketchT& s,
+                           SketchT&& so) {
+                    f.AdoptFrom(std::move(fo));
+                    s.AdoptFrom(std::move(so));
+                  }) {
+      ASKETCH_CHECK(CanAdoptFrom(other));
+      filter_.AdoptFrom(std::move(other.filter_));
+      sketch_.AdoptFrom(std::move(other.sketch_));
+      enable_exchanges_ = other.enable_exchanges_;
+      stats_ = other.stats_;
+      ASKETCH_TELEMETRY_ONLY(pending_ = PendingTelemetry{};)
+    } else {
+      *this = std::move(other);
+    }
+  }
+
   /// Writes filter + sketch + stats. Hash functions come back from the
   /// serialized seeds.
   bool SerializeTo(BinaryWriter& writer) const {
@@ -423,6 +500,17 @@ class ASketch {
   }
 
  private:
+  /// Shared TopK ordering: descending estimate, ties by ascending key.
+  static void SortTopK(std::vector<FilterEntry>* entries) {
+    std::sort(entries->begin(), entries->end(),
+              [](const FilterEntry& a, const FilterEntry& b) {
+                if (a.new_count != b.new_count) {
+                  return a.new_count > b.new_count;
+                }
+                return a.key < b.key;
+              });
+  }
+
   void UpdatePositive(item_t key, delta_t delta) {
     // Lines 1-6: filter lookup / hit aggregation.
     const int32_t slot = filter_.Find(key);
@@ -484,18 +572,23 @@ class ASketch {
     // cascading exchanges would re-inject over-estimated counts and only
     // add error (see the paper's discussion of the exchange policy).
     if (estimate > filter_.MinNewCount()) {
-      const FilterEntry victim = filter_.EvictMin();
-      if (victim.new_count > victim.old_count) {
-        // Only the exact hits accumulated in the filter go back; the
-        // old_count portion never left the sketch.
-        sketch_.Update(victim.key, static_cast<delta_t>(
-                                       victim.new_count - victim.old_count));
-        ++stats_.exchange_writebacks;
-        ++stats_.sketch_updates;
-        ASKETCH_TELEMETRY_ONLY({
-          ++pending_.exchange_writebacks;
-          ++pending_.sketch_updates;
-        })
+      // Writeback-before-eviction: filters exposing PeekMin get the
+      // victim's exact delta pushed into the sketch while the victim is
+      // still filter-resident, so a lock-free reader can never observe
+      // the victim absent from the filter with its filter-era hits
+      // missing from the sketch (a transient under-estimate). The final
+      // state is bit-identical to the evict-then-writeback order — the
+      // writeback touches no filter state.
+      FilterEntry victim;
+      if constexpr (requires(const FilterT& f) {
+                      { f.PeekMin() } -> std::same_as<FilterEntry>;
+                    }) {
+        victim = filter_.PeekMin();
+        WriteBackVictim(victim);
+        filter_.EvictMin();
+      } else {
+        victim = filter_.EvictMin();
+        WriteBackVictim(victim);
       }
       // The incoming key keeps its sketch cells untouched; both counts
       // start at the estimate so (new - old) = 0 exact hits so far.
@@ -505,6 +598,22 @@ class ASketch {
       return true;
     }
     return false;
+  }
+
+  /// Lines 10-12 of Algorithm 1: pushes an exchange victim's exact
+  /// filter-era hits back into the sketch (zero-delta suppressed).
+  void WriteBackVictim(const FilterEntry& victim) {
+    if (victim.new_count <= victim.old_count) return;
+    // Only the exact hits accumulated in the filter go back; the
+    // old_count portion never left the sketch.
+    sketch_.Update(victim.key, static_cast<delta_t>(victim.new_count -
+                                                    victim.old_count));
+    ++stats_.exchange_writebacks;
+    ++stats_.sketch_updates;
+    ASKETCH_TELEMETRY_ONLY({
+      ++pending_.exchange_writebacks;
+      ++pending_.sketch_updates;
+    })
   }
 
   count_t UpdateAndEstimateUnprepared(item_t key, delta_t delta) {

@@ -16,6 +16,12 @@
 //
 // Decreases (the deletion path of Appendix A) can invalidate the root from
 // anywhere, so both variants rebuild after a decrease.
+//
+// Concurrency: every mutator runs inside a single-writer seqlock section
+// (seqlock.h) and issues release stores, so SnapshotFind/SnapshotEntries
+// can serve concurrent readers without any lock — they retry the scan on
+// a torn snapshot. The mutators themselves must stay externally
+// serialized (one writer at a time), exactly as before.
 
 #ifndef ASKETCH_FILTER_HEAP_FILTER_H_
 #define ASKETCH_FILTER_HEAP_FILTER_H_
@@ -28,12 +34,14 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/atomic_util.h"
 #include "src/common/bit_util.h"
 #include "src/common/check.h"
 #include "src/common/serialize.h"
 #include "src/common/simd_scan.h"
 #include "src/common/types.h"
 #include "src/filter/filter_interface.h"
+#include "src/filter/seqlock.h"
 
 namespace asketch {
 
@@ -75,7 +83,9 @@ class BasicHeapFilter {
   /// Adds `delta` (may be negative) to the slot's new_count and repairs
   /// the heap per the variant's policy.
   void AddToNewCount(int32_t slot, delta_t delta) {
-    new_counts_[slot] = SaturatingAdd(new_counts_[slot], delta);
+    SeqWriteSection section(seq_);
+    ReleaseStore(new_counts_[slot],
+                 SaturatingAdd(new_counts_[slot], delta));
     if (delta < 0) {
       // Deletions may create a new minimum anywhere: rebuild.
       Heapify();
@@ -90,8 +100,9 @@ class BasicHeapFilter {
 
   /// Overwrites both counts of `slot` (deletion fix-ups); rebuilds.
   void SetCounts(int32_t slot, count_t new_count, count_t old_count) {
-    new_counts_[slot] = new_count;
-    old_counts_[slot] = old_count;
+    SeqWriteSection section(seq_);
+    ReleaseStore(new_counts_[slot], new_count);
+    ReleaseStore(old_counts_[slot], old_count);
     Heapify();
   }
 
@@ -99,10 +110,11 @@ class BasicHeapFilter {
   void Insert(item_t key, count_t new_count, count_t old_count) {
     ASKETCH_CHECK(!Full());
     ASKETCH_DCHECK(Find(key) < 0);
-    ids_[size_] = key;
-    new_counts_[size_] = new_count;
-    old_counts_[size_] = old_count;
-    ++size_;
+    SeqWriteSection section(seq_);
+    ReleaseStore(ids_[size_], key);
+    ReleaseStore(new_counts_[size_], new_count);
+    ReleaseStore(old_counts_[size_], old_count);
+    ReleaseStore(size_, size_ + 1);
     if constexpr (kStrict) {
       SiftUp(size_ - 1);
     } else {
@@ -114,9 +126,10 @@ class BasicHeapFilter {
   /// Removes the entry at `slot`.
   void Remove(int32_t slot) {
     ASKETCH_DCHECK(slot >= 0 && static_cast<uint32_t>(slot) < size_);
-    --size_;
+    SeqWriteSection section(seq_);
+    ReleaseStore(size_, size_ - 1);
     MoveEntry(size_, static_cast<uint32_t>(slot));
-    new_counts_[size_] = std::numeric_limits<count_t>::max();
+    ReleaseStore(new_counts_[size_], std::numeric_limits<count_t>::max());
     Heapify();
   }
 
@@ -128,13 +141,23 @@ class BasicHeapFilter {
     return new_counts_[0];
   }
 
+  /// The minimum-new_count entry (the root), without removing it. The
+  /// exchange path reads the victim here and writes its exact delta back
+  /// to the sketch *before* evicting, so a lock-free reader can never
+  /// observe the victim absent from both structures (asketch.h).
+  FilterEntry PeekMin() const {
+    ASKETCH_CHECK(size_ > 0);
+    return FilterEntry{ids_[0], new_counts_[0], old_counts_[0]};
+  }
+
   /// Removes and returns the minimum-new_count entry (the root).
   FilterEntry EvictMin() {
     ASKETCH_CHECK(size_ > 0);
     const FilterEntry entry{ids_[0], new_counts_[0], old_counts_[0]};
-    --size_;
+    SeqWriteSection section(seq_);
+    ReleaseStore(size_, size_ - 1);
     MoveEntry(size_, 0);
-    new_counts_[size_] = std::numeric_limits<count_t>::max();
+    ReleaseStore(new_counts_[size_], std::numeric_limits<count_t>::max());
     if (size_ > 0) {
       if constexpr (kStrict) {
         SiftDown(0);
@@ -156,9 +179,87 @@ class BasicHeapFilter {
   size_t MemoryUsageBytes() const { return capacity_ * BytesPerItem(); }
 
   void Reset() {
-    size_ = 0;
-    std::fill(new_counts_.begin(), new_counts_.end(),
-              std::numeric_limits<count_t>::max());
+    SeqWriteSection section(seq_);
+    ReleaseStore(size_, 0u);
+    for (count_t& c : new_counts_) {
+      ReleaseStore(c, std::numeric_limits<count_t>::max());
+    }
+  }
+
+  /// Lock-free point lookup for concurrent readers: scans a seqlock
+  /// snapshot and, on a hit, stores the entry's new_count into `*count`.
+  /// Returns whether the key was resident. Retries torn snapshots
+  /// (`*retries` accumulates the number of retried scans, for the
+  /// asketch_net_seqlock_retries_total counter). The scan is scalar:
+  /// each load must be an individually-atomic acquire load for the
+  /// seqlock protocol (and TSan), which the SIMD probe cannot provide.
+  bool SnapshotFind(item_t key, count_t* count,
+                    uint64_t* retries = nullptr) const {
+    for (uint64_t attempt = 0;; ++attempt) {
+      const uint32_t version = seq_.ReadBegin();
+      if ((version & 1u) == 0) {
+        const uint32_t n = std::min(AcquireLoad(size_), capacity_);
+        bool hit = false;
+        count_t result = 0;
+        for (uint32_t i = 0; i < n; ++i) {
+          if (AcquireLoad(ids_[i]) == key) {
+            result = AcquireLoad(new_counts_[i]);
+            hit = true;
+            break;
+          }
+        }
+        if (seq_.ReadValidate(version)) {
+          if (hit) *count = result;
+          return hit;
+        }
+      }
+      if (retries != nullptr) ++*retries;
+      SeqRetryBackoff(attempt);
+    }
+  }
+
+  /// Lock-free snapshot of all entries (heap-array order) for concurrent
+  /// top-k readers; same retry contract as SnapshotFind.
+  void SnapshotEntries(std::vector<FilterEntry>* out,
+                       uint64_t* retries = nullptr) const {
+    for (uint64_t attempt = 0;; ++attempt) {
+      const uint32_t version = seq_.ReadBegin();
+      if ((version & 1u) == 0) {
+        const uint32_t n = std::min(AcquireLoad(size_), capacity_);
+        out->clear();
+        out->reserve(n);
+        for (uint32_t i = 0; i < n; ++i) {
+          out->push_back(FilterEntry{AcquireLoad(ids_[i]),
+                                     AcquireLoad(new_counts_[i]),
+                                     AcquireLoad(old_counts_[i])});
+        }
+        if (seq_.ReadValidate(version)) return;
+      }
+      if (retries != nullptr) ++*retries;
+      SeqRetryBackoff(attempt);
+    }
+  }
+
+  /// Whether AdoptFrom(other) can replace this filter's contents without
+  /// reallocating the arrays concurrent readers are scanning.
+  bool CanAdoptFrom(const BasicHeapFilter& other) const {
+    return capacity_ == other.capacity_;
+  }
+
+  /// Replaces this filter's contents with `other`'s, in place: the
+  /// backing arrays are never reallocated, so lock-free readers racing
+  /// the adoption see either the old or the new state (or retry), never
+  /// freed memory. Requires CanAdoptFrom(other); the caller must hold
+  /// the writer role (e.g. the shard mutex during snapshot re-adoption).
+  void AdoptFrom(BasicHeapFilter&& other) {
+    ASKETCH_CHECK(CanAdoptFrom(other));
+    SeqWriteSection section(seq_);
+    for (size_t i = 0; i < ids_.size(); ++i) {
+      ReleaseStore(ids_[i], other.ids_[i]);
+      ReleaseStore(new_counts_[i], other.new_counts_[i]);
+      ReleaseStore(old_counts_[i], other.old_counts_[i]);
+    }
+    ReleaseStore(size_, other.size_);
   }
 
   /// Visits all entries in heap-array order.
@@ -232,16 +333,25 @@ class BasicHeapFilter {
   }
 
  private:
+  // The private heap machinery runs inside the caller's write section;
+  // its reads are plain (the writer is unique) and its stores release
+  // (concurrent snapshot readers load them atomically).
   void SwapEntries(uint32_t a, uint32_t b) {
-    std::swap(ids_[a], ids_[b]);
-    std::swap(new_counts_[a], new_counts_[b]);
-    std::swap(old_counts_[a], old_counts_[b]);
+    const item_t id_a = ids_[a];
+    ReleaseStore(ids_[a], ids_[b]);
+    ReleaseStore(ids_[b], id_a);
+    const count_t new_a = new_counts_[a];
+    ReleaseStore(new_counts_[a], new_counts_[b]);
+    ReleaseStore(new_counts_[b], new_a);
+    const count_t old_a = old_counts_[a];
+    ReleaseStore(old_counts_[a], old_counts_[b]);
+    ReleaseStore(old_counts_[b], old_a);
   }
 
   void MoveEntry(uint32_t from, uint32_t to) {
-    ids_[to] = ids_[from];
-    new_counts_[to] = new_counts_[from];
-    old_counts_[to] = old_counts_[from];
+    ReleaseStore(ids_[to], ids_[from]);
+    ReleaseStore(new_counts_[to], new_counts_[from]);
+    ReleaseStore(old_counts_[to], old_counts_[from]);
   }
 
   void SiftDown(uint32_t i) {
@@ -281,6 +391,8 @@ class BasicHeapFilter {
   std::vector<uint32_t> ids_;
   std::vector<count_t> new_counts_;
   std::vector<count_t> old_counts_;
+  /// Versions the arrays above for lock-free snapshot readers.
+  SeqCounter seq_;
 };
 
 extern template class BasicHeapFilter<true>;

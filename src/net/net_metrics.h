@@ -27,6 +27,9 @@ struct NetMetrics {
   obs::Counter& shed_weight;         ///< weight dropped under overload
   obs::Counter& inline_applied;      ///< tuples applied on the caller thread
   obs::Counter& enqueue_waits;       ///< bounded waits on a full shard queue
+  obs::Counter& lockless_reads;      ///< queries answered without shard.mu
+  obs::Counter& seqlock_retries;     ///< filter snapshot reads re-run after
+                                     ///< colliding with a writer section
   obs::Gauge& connections;           ///< currently open connections
   obs::Gauge& degraded;              ///< 1 while any shard queue overflowed
   obs::Histogram& request_ns;        ///< wall time of one non-UPDATE request
@@ -45,6 +48,8 @@ struct NetMetrics {
           r.GetCounter("asketch_net_shed_weight_total"),
           r.GetCounter("asketch_net_inline_applied_total"),
           r.GetCounter("asketch_net_enqueue_waits_total"),
+          r.GetCounter("asketch_net_lockless_reads_total"),
+          r.GetCounter("asketch_net_seqlock_retries_total"),
           r.GetGauge("asketch_net_connections"),
           r.GetGauge("asketch_net_degraded"),
           r.GetHistogram("asketch_net_request_ns"),

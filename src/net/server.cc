@@ -251,10 +251,7 @@ bool Server::HandleFrame(int fd, const Frame& frame, bool& hello_done,
         return fail(NetStatus::kBadFrame, "malformed QUERY_BATCH");
       }
       std::vector<uint64_t> estimates;
-      estimates.reserve(keys.size());
-      for (const item_t key : keys) {
-        estimates.push_back(shards_.Estimate(key));
-      }
+      shards_.EstimateBatch(keys, &estimates);
       metrics.queries.Add(keys.size());
       const bool ok = SendAll(fd, EncodeQueryBatchResponse(estimates));
       metrics.request_ns.Record(static_cast<uint64_t>(

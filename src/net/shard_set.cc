@@ -92,7 +92,11 @@ void ShardSet::WorkerLoop(Shard& shard) {
     {
       std::lock_guard<std::mutex> guard(shard.mu);
       shard.sketch.UpdateBatch(batch);
-      shard.applied_tuples += batch.size();
+      // Release: a reader that observes this boundary via
+      // AppliedTuples() is guaranteed to also observe the batch it
+      // accounts for (the concurrency tests' oracle bracketing).
+      shard.applied_tuples.fetch_add(batch.size(),
+                                     std::memory_order_release);
     }
     {
       std::lock_guard<std::mutex> lock(shard.queue_mu);
@@ -142,7 +146,11 @@ uint64_t ShardSet::Ingest(std::span<const Tuple> tuples) {
     if (options_.overload == OverloadPolicy::kInlineApply) {
       std::lock_guard<std::mutex> guard(shard.mu);
       shard.sketch.UpdateBatch(batch);
-      shard.applied_tuples += batch.size();
+      // Release: a reader that observes this boundary via
+      // AppliedTuples() is guaranteed to also observe the batch it
+      // accounts for (the concurrency tests' oracle bracketing).
+      shard.applied_tuples.fetch_add(batch.size(),
+                                     std::memory_order_release);
       inline_applied_.fetch_add(batch.size(), std::memory_order_relaxed);
       metrics.inline_applied.Add(batch.size());
     } else {
@@ -164,7 +172,59 @@ void ShardSet::Drain() {
   }
 }
 
+namespace {
+
+/// Books one lock-free read (and any torn-snapshot retries it burned)
+/// into the read-path counters.
+void RecordLocklessRead(uint64_t reads, uint64_t retries) {
+  NetMetrics& metrics = NetMetrics::Get();
+  metrics.lockless_reads.Add(reads);
+  if (retries != 0) metrics.seqlock_retries.Add(retries);
+}
+
+/// Exact filter-era hits of a filter entry, clamped at 0: a snapshot
+/// forged or corrupted into new_count < old_count must not wrap the
+/// unsigned subtraction into a ~2^32 "exact hit" count (every live
+/// update path preserves new_count >= old_count, but deserialization
+/// does not enforce it).
+uint64_t ExactHits(const FilterEntry& e) {
+  return e.new_count >= e.old_count
+             ? static_cast<uint64_t>(e.new_count - e.old_count)
+             : 0;
+}
+
+}  // namespace
+
 count_t ShardSet::Estimate(item_t key) const {
+  const Shard& shard = *shards_[ShardOf(key, num_shards())];
+  uint64_t retries = 0;
+  const count_t estimate = shard.sketch.EstimateConcurrent(key, &retries);
+  RecordLocklessRead(1, retries);
+  return estimate;
+}
+
+void ShardSet::EstimateBatch(std::span<const item_t> keys,
+                             std::vector<uint64_t>* estimates) const {
+  const uint32_t n = num_shards();
+  estimates->assign(keys.size(), 0);
+  // Resolve the owning shard once per key and answer shard by shard:
+  // one shard's filter ids and sketch rows stay cache-hot for its whole
+  // group instead of being round-robined out by the next key's shard.
+  std::vector<std::vector<uint32_t>> groups(n);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    groups[ShardOf(keys[i], n)].push_back(static_cast<uint32_t>(i));
+  }
+  uint64_t retries = 0;
+  for (uint32_t s = 0; s < n; ++s) {
+    const Shard& shard = *shards_[s];
+    for (const uint32_t i : groups[s]) {
+      (*estimates)[i] = shard.sketch.EstimateConcurrent(keys[i], &retries);
+    }
+  }
+  RecordLocklessRead(keys.size(), retries);
+}
+
+count_t ShardSet::EstimateMutexBaseline(item_t key) const {
   const Shard& shard = *shards_[ShardOf(key, num_shards())];
   std::lock_guard<std::mutex> guard(shard.mu);
   return shard.sketch.Estimate(key);
@@ -172,12 +232,10 @@ count_t ShardSet::Estimate(item_t key) const {
 
 std::vector<TopKEntry> ShardSet::TopK(uint32_t k) const {
   std::vector<TopKEntry> merged;
+  uint64_t retries = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> guard(shard->mu);
-    for (const FilterEntry& e : shard->sketch.TopK()) {
-      merged.push_back(TopKEntry{
-          e.key, e.new_count,
-          static_cast<uint64_t>(e.new_count - e.old_count)});
+    for (const FilterEntry& e : shard->sketch.TopKConcurrent(&retries)) {
+      merged.push_back(TopKEntry{e.key, e.new_count, ExactHits(e)});
     }
   }
   std::sort(merged.begin(), merged.end(),
@@ -186,7 +244,12 @@ std::vector<TopKEntry> ShardSet::TopK(uint32_t k) const {
               return a.key < b.key;
             });
   if (merged.size() > k) merged.resize(k);
+  RecordLocklessRead(1, retries);
   return merged;
+}
+
+uint64_t ShardSet::AppliedTuples(uint32_t shard) const {
+  return shards_[shard]->applied_tuples.load(std::memory_order_acquire);
 }
 
 WireStats ShardSet::GetStats() const {
@@ -197,13 +260,15 @@ WireStats ShardSet::GetStats() const {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> guard(shard->mu);
     const ASketchStats& s = shard->sketch.stats();
-    stats.ingested += shard->applied_tuples;
+    stats.ingested +=
+        shard->applied_tuples.load(std::memory_order_relaxed);
     stats.filtered_weight += s.filtered_weight;
     stats.sketch_weight += s.sketch_weight;
     stats.exchanges += s.exchanges;
     stats.sketch_updates += s.sketch_updates;
     stats.memory_bytes += shard->sketch.MemoryUsageBytes();
-    stats.per_shard_ingested.push_back(shard->applied_tuples);
+    stats.per_shard_ingested.push_back(
+        shard->applied_tuples.load(std::memory_order_relaxed));
   }
   return stats;
 }
@@ -215,7 +280,7 @@ std::vector<uint8_t> ShardSet::SerializeLocked() const {
   writer.PutU64(shed_weight_.load(std::memory_order_relaxed));
   writer.PutU64(inline_applied_.load(std::memory_order_relaxed));
   for (const auto& shard : shards_) {
-    writer.PutU64(shard->applied_tuples);
+    writer.PutU64(shard->applied_tuples.load(std::memory_order_relaxed));
     if (!shard->sketch.SerializeTo(writer)) return {};
   }
   return writer.buffer();
@@ -255,9 +320,24 @@ std::optional<std::string> ShardSet::RestoreLocked(
     }
     sketches.push_back(*std::move(sketch));
   }
+  // Adopt in place: the restored state is copied into the live shards'
+  // existing buffers instead of move-assigned over them, so lock-free
+  // readers racing a restore (the SNAPSHOT re-adoption runs during live
+  // serving) never chase a freed cell array or filter slab. That makes
+  // shape compatibility a hard requirement; check every shard before
+  // touching any of them so a mismatch cannot half-restore the set.
   for (uint32_t i = 0; i < shard_count; ++i) {
-    shards_[i]->sketch = std::move(sketches[i]);
-    shards_[i]->applied_tuples = applied[i];
+    if (!shards_[i]->sketch.CanAdoptFrom(sketches[i])) {
+      return "shard-set payload: shard " + std::to_string(i) +
+             " has a different filter capacity or sketch geometry than "
+             "this server's configuration (restart with the snapshot's "
+             "original sizing flags)";
+    }
+  }
+  for (uint32_t i = 0; i < shard_count; ++i) {
+    shards_[i]->sketch.AdoptFrom(std::move(sketches[i]));
+    shards_[i]->applied_tuples.store(applied[i],
+                                     std::memory_order_release);
   }
   shed_weight_.store(shed, std::memory_order_relaxed);
   inline_applied_.store(inline_applied, std::memory_order_relaxed);
@@ -274,7 +354,8 @@ std::vector<uint8_t> ShardSet::SerializeState(StateDigest* digest) {
     digest->generation = 0;
     digest->ingested = 0;
     for (const auto& shard : shards_) {
-      digest->ingested += shard->applied_tuples;
+      digest->ingested +=
+          shard->applied_tuples.load(std::memory_order_relaxed);
     }
     digest->digest = Crc32c(payload.data(), payload.size());
   }
@@ -317,7 +398,8 @@ std::optional<std::string> ShardSet::SaveSnapshot(SnapshotStore& store,
     digest->generation = store.LatestGeneration();
     digest->ingested = 0;
     for (const auto& shard : shards_) {
-      digest->ingested += shard->applied_tuples;
+      digest->ingested +=
+          shard->applied_tuples.load(std::memory_order_relaxed);
     }
     digest->digest = Crc32c(payload.data(), payload.size());
   }
@@ -339,7 +421,8 @@ std::optional<std::string> ShardSet::RecoverFromStore(
     digest->ingested = 0;
     for (const auto& shard : shards_) {
       std::lock_guard<std::mutex> guard(shard->mu);
-      digest->ingested += shard->applied_tuples;
+      digest->ingested +=
+          shard->applied_tuples.load(std::memory_order_relaxed);
     }
     digest->digest =
         Crc32c(loaded->payload.data(), loaded->payload.size());

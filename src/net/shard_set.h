@@ -18,6 +18,14 @@
 // them barriers — every tuple enqueued before the call is reflected in
 // the cut.
 //
+// Reads are contention-free: Estimate/EstimateBatch/TopK never take
+// shard.mu. Point and top-k lookups run against the filter's
+// single-writer seqlock (src/filter/seqlock.h) and fall through to
+// relaxed atomic sketch-cell reads, so read latency no longer collapses
+// when an ingest worker is mid-batch under the mutex. Answers remain
+// one-sided and prefix-consistent per key (DESIGN.md §5c); shard.mu
+// still serializes the writers (worker, inline-apply, restore).
+//
 // Persistence mirrors asketch_cli's checkpoint discipline: SaveSnapshot
 // serializes all shards into one SnapshotStore generation (payload tag
 // "SRD1"), then re-adopts the deserialized form, so the live state, the
@@ -58,9 +66,11 @@ using ServingSketch = ASketch<RelaxedHeapFilter, CountMin>;
 /// namespace, top byte outside the library's 0x41 composed tags).
 inline constexpr uint32_t kShardSetPayloadType = 0x31445253u;
 
-/// Owning shard of `key`: Fibonacci multiplicative hash, then modulo.
+/// Owning shard of `key`: Knuth multiplicative hash — multiply by the
+/// constant 2654435761 mod 2^32 — then modulo the shard count.
 /// Deterministic and config-independent, so any client can precompute
-/// shard affinity; documented in docs/PROTOCOL.md.
+/// shard affinity; documented in docs/PROTOCOL.md §Sharding (which
+/// states the same constant).
 inline uint32_t ShardOf(item_t key, uint32_t num_shards) {
   return (key * 2654435761u) % num_shards;
 }
@@ -99,12 +109,33 @@ class ShardSet {
   void Drain();
 
   /// Point query against the applied state of the owning shard.
+  /// Lock-free: never blocks on shard.mu (see file comment).
   count_t Estimate(item_t key) const;
+
+  /// Batched point query: estimates->at(i) answers keys[i]. Keys are
+  /// grouped by owning shard once and each group is answered in one
+  /// pass, instead of re-resolving the shard per key — QUERY_BATCH's
+  /// fanout. Lock-free like Estimate.
+  void EstimateBatch(std::span<const item_t> keys,
+                     std::vector<uint64_t>* estimates) const;
+
+  /// Mutex-baseline point query: the pre-seqlock read path (take
+  /// shard.mu, query under the lock), kept for the read-concurrency
+  /// bench so the contention win stays measurable against the real
+  /// implementation (bench/bench_net_read_concurrency.cc).
+  count_t EstimateMutexBaseline(item_t key) const;
 
   /// Merged heavy-hitter report: per-shard filter contents, globally
   /// sorted by descending estimate, truncated to `k`. Exact union —
-  /// shards partition the keyspace.
+  /// shards partition the keyspace. Lock-free like Estimate; each
+  /// shard's entries come from one validated filter snapshot.
   std::vector<TopKEntry> TopK(uint32_t k) const;
+
+  /// Tuples applied so far by `shard` (worker + inline applies). Only
+  /// advances after a whole sub-batch is applied, so the value is always
+  /// a sub-batch boundary — the prefix-cut handle the concurrency tests
+  /// bracket their oracle checks with.
+  uint64_t AppliedTuples(uint32_t shard) const;
 
   /// Aggregate counters across shards (snapshot_generation left 0; the
   /// server fills it in from its SnapshotStore).
@@ -115,9 +146,13 @@ class ShardSet {
   std::vector<uint8_t> SerializeState(StateDigest* digest = nullptr);
 
   /// Replaces all shard state from a SerializeState payload. Returns an
-  /// error message on malformed payloads or a shard-count mismatch (the
+  /// error message on malformed payloads, a shard-count mismatch (the
   /// partition function depends on num_shards, so a snapshot can only be
-  /// adopted by a server with the same --shards).
+  /// adopted by a server with the same --shards), or a sketch-shape
+  /// mismatch (state is adopted into the live shards' buffers so
+  /// lock-free readers never chase freed memory, which requires the
+  /// snapshot's filter capacity and sketch geometry to match this
+  /// server's configuration).
   std::optional<std::string> RestoreState(std::span<const uint8_t> payload);
 
   /// Drain + serialize + store.Save + re-adopt. On success fills
@@ -136,9 +171,14 @@ class ShardSet {
 
  private:
   struct Shard {
-    mutable std::mutex mu;  ///< guards sketch + applied
+    /// Serializes the *writers* of sketch + applied_tuples (worker
+    /// batch application, inline-apply, restore). Readers go through
+    /// the sketch's lock-free query path instead of taking it.
+    mutable std::mutex mu;
     ServingSketch sketch;
-    uint64_t applied_tuples = 0;  ///< tuples applied (worker + inline)
+    /// Tuples applied (worker + inline). Written under mu, bumped only
+    /// at sub-batch boundaries; read without mu by AppliedTuples.
+    std::atomic<uint64_t> applied_tuples{0};
 
     std::mutex queue_mu;
     std::condition_variable cv_push;  ///< signalled when space frees up

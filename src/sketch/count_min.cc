@@ -3,6 +3,12 @@
 #include <algorithm>
 #include <limits>
 
+// All cell stores below go through RelaxedStore (atomic_util.h): the
+// serving layer reads cells concurrently with the shard worker's updates
+// via EstimateRelaxed, and a plain store racing an atomic load is a data
+// race. The stores compile to the same MOVs as before; the updater
+// itself stays single-threaded (reads of its own cells remain plain).
+
 namespace asketch {
 
 std::optional<std::string> CountMinConfig::Validate() const {
@@ -42,13 +48,13 @@ void CountMin::Update(item_t key, delta_t delta) {
     const count_t target = SaturatingAdd(est, delta);
     for (uint32_t row = 0; row < config_.width; ++row) {
       count_t& cell = Cell(row, buckets[row]);
-      cell = std::max(cell, target);
+      RelaxedStore(cell, std::max(cell, target));
     }
     return;
   }
   for (uint32_t row = 0; row < config_.width; ++row) {
     count_t& cell = Cell(row, hashes_.Bucket(row, key));
-    cell = SaturatingAdd(cell, delta);
+    RelaxedStore(cell, SaturatingAdd(cell, delta));
   }
 }
 
@@ -62,13 +68,13 @@ void CountMin::UpdateAt(const uint32_t* buckets, delta_t delta,
     const count_t target = SaturatingAdd(est, delta);
     for (uint32_t row = 0; row < config_.width; ++row) {
       count_t& cell = Cell(row, buckets[row * stride]);
-      cell = std::max(cell, target);
+      RelaxedStore(cell, std::max(cell, target));
     }
     return;
   }
   for (uint32_t row = 0; row < config_.width; ++row) {
     count_t& cell = Cell(row, buckets[row * stride]);
-    cell = SaturatingAdd(cell, delta);
+    RelaxedStore(cell, SaturatingAdd(cell, delta));
   }
 }
 
@@ -82,7 +88,7 @@ count_t CountMin::UpdateAndEstimateAt(const uint32_t* buckets,
     const count_t target = SaturatingAdd(est, delta);
     for (uint32_t row = 0; row < config_.width; ++row) {
       count_t& cell = Cell(row, buckets[row * stride]);
-      cell = std::max(cell, target);
+      RelaxedStore(cell, std::max(cell, target));
     }
     // Every hashed cell is now >= target and the minimal one exactly
     // target, so the post-update estimate is target itself.
@@ -91,8 +97,9 @@ count_t CountMin::UpdateAndEstimateAt(const uint32_t* buckets,
   count_t est = std::numeric_limits<count_t>::max();
   for (uint32_t row = 0; row < config_.width; ++row) {
     count_t& cell = Cell(row, buckets[row * stride]);
-    cell = SaturatingAdd(cell, delta);
-    est = std::min(est, cell);
+    const count_t next = SaturatingAdd(cell, delta);
+    RelaxedStore(cell, next);
+    est = std::min(est, next);
   }
   return est;
 }
@@ -106,8 +113,9 @@ count_t CountMin::UpdateAndEstimate(item_t key, delta_t delta) {
   count_t est = std::numeric_limits<count_t>::max();
   for (uint32_t row = 0; row < config_.width; ++row) {
     count_t& cell = Cell(row, hashes_.Bucket(row, key));
-    cell = SaturatingAdd(cell, delta);
-    est = std::min(est, cell);
+    const count_t next = SaturatingAdd(cell, delta);
+    RelaxedStore(cell, next);
+    est = std::min(est, next);
   }
   return est;
 }
@@ -142,7 +150,9 @@ count_t CountMin::Estimate(item_t key) const {
   return est;
 }
 
-void CountMin::Reset() { std::fill(cells_.begin(), cells_.end(), 0); }
+void CountMin::Reset() {
+  for (count_t& cell : cells_) RelaxedStore(cell, 0u);
+}
 
 namespace {
 constexpr uint32_t kCountMinMagic = 0x314d4d43;  // "CMM1"
@@ -160,8 +170,9 @@ std::optional<std::string> CountMin::MergeFrom(const CountMin& other) {
            "must match)";
   }
   for (size_t i = 0; i < cells_.size(); ++i) {
-    cells_[i] = SaturatingAdd(cells_[i],
-                              static_cast<delta_t>(other.cells_[i]));
+    RelaxedStore(cells_[i],
+                 SaturatingAdd(cells_[i],
+                               static_cast<delta_t>(other.cells_[i])));
   }
   return std::nullopt;
 }

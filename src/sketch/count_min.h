@@ -12,12 +12,15 @@
 #ifndef ASKETCH_SKETCH_COUNT_MIN_H_
 #define ASKETCH_SKETCH_COUNT_MIN_H_
 
+#include <algorithm>
 #include <cstddef>
+#include <limits>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "src/common/atomic_util.h"
 #include "src/common/check.h"
 #include "src/common/hashing.h"
 #include "src/common/serialize.h"
@@ -68,6 +71,23 @@ class CountMin {
   /// Point query: min over the hashed cells. Never under-estimates on
   /// strict streams.
   count_t Estimate(item_t key) const;
+
+  /// Point query safe against a concurrent updater: the cells are read
+  /// with relaxed atomic loads (every mutator stores them atomically,
+  /// so the mixed access is race-free). On insert-only streams each
+  /// cell is monotone non-decreasing, so whatever interleaving the
+  /// loads observe, every cell is at least its value at any earlier
+  /// consistent cut — the min stays a one-sided (never-under) estimate
+  /// of any prefix of the applied stream. Deletions break the
+  /// monotonicity argument; the serving wire protocol carries none
+  /// (Tuple weights are unsigned).
+  count_t EstimateRelaxed(item_t key) const {
+    count_t est = std::numeric_limits<count_t>::max();
+    for (uint32_t row = 0; row < config_.width; ++row) {
+      est = std::min(est, RelaxedLoad(Cell(row, hashes_.Bucket(row, key))));
+    }
+    return est;
+  }
 
   /// Update(key, delta) followed by Estimate(key), hashing only once —
   /// the fused form Algorithm 1's miss path wants (line 8 + line 9).
@@ -158,6 +178,28 @@ class CountMin {
   /// True if `other` was built with the same width, depth, and seed —
   /// the precondition for MergeFrom (the two share hash functions).
   bool CompatibleWith(const CountMin& other) const;
+
+  /// Whether AdoptFrom(other) can replace this sketch's state without
+  /// reallocating the cell array or rebuilding the hash functions
+  /// concurrent readers are using: full config match (the update policy
+  /// may differ — it does not affect layout or hashing).
+  bool CanAdoptFrom(const CountMin& other) const {
+    return CompatibleWith(other);
+  }
+
+  /// Replaces this sketch's cells (and update policy) with `other`'s,
+  /// in place: the cell array is never reallocated, so lock-free
+  /// readers racing the adoption observe a mix of old and new cell
+  /// values, never freed memory. Requires CanAdoptFrom(other); the
+  /// caller must exclude concurrent updaters (e.g. hold the shard mutex
+  /// during snapshot re-adoption).
+  void AdoptFrom(CountMin&& other) {
+    ASKETCH_CHECK(CanAdoptFrom(other));
+    config_.policy = other.config_.policy;
+    for (size_t i = 0; i < cells_.size(); ++i) {
+      RelaxedStore(cells_[i], other.cells_[i]);
+    }
+  }
 
   /// Adds `other`'s cells into this sketch (saturating). Count-Min is
   /// linearly mergeable: the merged sketch answers queries over the

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "src/common/serialize.h"
+#include "src/common/snapshot.h"
 #include "src/net/client.h"
 #include "src/net/shard_set.h"
 #include "src/workload/stream_generator.h"
@@ -428,6 +430,143 @@ TEST(ShardSetTest, ShardRoutingIsDisjointAndTotal) {
   }
   const WireStats stats = shards.GetStats();
   EXPECT_EQ(stats.ingested, tuples.size());
+}
+
+// Builds a serialized ShardSet payload ("SRD1") whose shard owning
+// `bad_key` carries a filter entry with new_count < old_count. Live
+// streams cannot produce that state — Appendix A deletions equalize the
+// counters instead of crossing them — but RestoreState accepts any
+// payload that deserializes (snapshots written by external tools or
+// older builds are not revalidated), and TOPK used to compute
+// exact_hits = new_count - old_count with unsigned arithmetic, wrapping
+// to ~4.29e9 for such an entry.
+std::vector<uint8_t> PayloadWithUnderflowedEntry(
+    const ShardSetOptions& options, item_t bad_key, count_t bad_new,
+    count_t bad_old) {
+  BinaryWriter writer;
+  writer.PutU32(kShardSetPayloadType);  // "SRD1"
+  writer.PutU32(options.num_shards);
+  writer.PutU64(0);  // shed_weight
+  writer.PutU64(0);  // inline_applied
+  const uint32_t bad_shard = ShardOf(bad_key, options.num_shards);
+  for (uint32_t s = 0; s < options.num_shards; ++s) {
+    ServingSketch crafted =
+        MakeASketchCountMin<RelaxedHeapFilter>(options.shard_config);
+    // Some ordinary traffic, including an Appendix A deletion — which
+    // leaves new_count == old_count, never below.
+    crafted.Update(bad_key + 1, 6);
+    crafted.Update(bad_key + 1, -2);
+    if (s == bad_shard) {
+      crafted.filter().Insert(bad_key, bad_new, bad_old);
+    }
+    writer.PutU64(10);  // applied_tuples
+    if (!crafted.SerializeTo(writer)) return {};
+  }
+  return writer.buffer();
+}
+
+TEST(ShardSetTest, TopKClampsUnderflowedRestoredCounts) {
+  ShardSetOptions options;
+  options.num_shards = 2;
+  options.shard_config.total_bytes = 32 * 1024;
+  const item_t bad_key = 99;
+  const std::vector<uint8_t> payload =
+      PayloadWithUnderflowedEntry(options, bad_key, /*bad_new=*/5,
+                                  /*bad_old=*/9);
+  ASSERT_FALSE(payload.empty());
+  ShardSet set(options);
+  ASSERT_EQ(set.RestoreState(payload), std::nullopt);
+  bool found = false;
+  for (const TopKEntry& e : set.TopK(16)) {
+    EXPECT_LE(e.exact_hits, e.estimate) << "key " << e.key;
+    if (e.key == bad_key) {
+      found = true;
+      EXPECT_EQ(e.estimate, 5u);
+      // The regression: unsigned 5 - 9 wrapped to 4294967292 before the
+      // clamp; an entry with no filter-era hits must report zero.
+      EXPECT_EQ(e.exact_hits, 0u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(NetServer, TopKClampsUnderflowOverWireAfterRecover) {
+  const fs::path dir =
+      fs::path(testing::TempDir()) / "asketchd_underflow_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string prefix = (dir / "ckpt").string();
+
+  ServerOptions options = SmallServer();
+  const item_t bad_key = 424242;
+  const std::vector<uint8_t> payload =
+      PayloadWithUnderflowedEntry(options.shards, bad_key, /*bad_new=*/7,
+                                  /*bad_old=*/11);
+  ASSERT_FALSE(payload.empty());
+  SnapshotStore store(prefix, options.snapshot_retain);
+  ASSERT_EQ(store.Save(kShardSetPayloadType, payload), std::nullopt);
+
+  options.snapshot_prefix = prefix;
+  options.recover = true;
+  Server server(options);
+  ASSERT_EQ(server.Start(), std::nullopt);
+  Client client;
+  ASSERT_EQ(client.Connect({.port = server.port()}), std::nullopt);
+  std::vector<TopKEntry> top;
+  ASSERT_EQ(client.TopK(32, &top), std::nullopt);
+  bool found = false;
+  for (const TopKEntry& e : top) {
+    EXPECT_LE(e.exact_hits, e.estimate) << "key " << e.key;
+    if (e.key == bad_key) {
+      found = true;
+      EXPECT_EQ(e.estimate, 7u);
+      EXPECT_EQ(e.exact_hits, 0u);
+    }
+  }
+  EXPECT_TRUE(found);
+  // The underflowed entry still answers point queries with its exact
+  // filter count.
+  uint64_t estimate = 0;
+  ASSERT_EQ(client.Query(bad_key, &estimate), std::nullopt);
+  EXPECT_EQ(estimate, 7u);
+  server.Stop();
+  fs::remove_all(dir);
+}
+
+TEST(NetServer, QueryBatchMatchesPointQueries) {
+  Server server(SmallServer());
+  ASSERT_EQ(server.Start(), std::nullopt);
+  Client client;
+  ASSERT_EQ(client.Connect({.port = server.port()}), std::nullopt);
+  const auto tuples = TestStream(20'000);
+  ASSERT_EQ(client.Update(tuples), std::nullopt);
+  ASSERT_EQ(client.Flush(), std::nullopt);
+  // Queries read the *applied* state and UPDATE acks only cover the
+  // enqueue; DIGEST drains every shard queue, making the whole stream
+  // visible before the comparisons below.
+  StateDigest digest;
+  ASSERT_EQ(client.Digest(&digest), std::nullopt);
+
+  // Mixed batch: seen keys, unseen keys, and duplicates — the grouped
+  // per-shard fanout must answer each position exactly like a point
+  // query, in request order.
+  std::vector<item_t> keys;
+  for (uint32_t i = 0; i < 200; ++i) keys.push_back(tuples[i * 7].key);
+  for (uint32_t i = 0; i < 16; ++i) keys.push_back(3'000'000'000u + i);
+  keys.push_back(keys.front());
+  std::vector<uint64_t> batched;
+  ASSERT_EQ(client.QueryBatch(keys, &batched), std::nullopt);
+  ASSERT_EQ(batched.size(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    uint64_t single = 0;
+    ASSERT_EQ(client.Query(keys[i], &single), std::nullopt);
+    EXPECT_EQ(batched[i], single) << "position " << i;
+  }
+  // An empty batch is a valid request with an empty answer.
+  std::vector<uint64_t> empty;
+  ASSERT_EQ(client.QueryBatch({}, &empty), std::nullopt);
+  EXPECT_TRUE(empty.empty());
+  server.Stop();
 }
 
 #endif  // ASKETCH_NET_TESTS
