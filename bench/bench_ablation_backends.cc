@@ -1,6 +1,7 @@
 // Ablation: ASketch generality over sketch backends. Runs the same
-// 128 KB budget with Count-Min, conservative-update Count-Min, FCM, and
-// Count Sketch backends, with and without the filter, at Zipf 1.5.
+// 128 KB budget with Count-Min, conservative-update Count-Min, SALSA,
+// FCM, and Count Sketch backends, with and without the filter, at
+// Zipf 1.5.
 // Validates the paper's claim that the filter's improvement is orthogonal
 // to the underlying sketch (§7.2.1, Fig. 8) — and extends it to two
 // backends the paper did not measure.
@@ -60,6 +61,12 @@ void Main() {
       ASketch<RelaxedHeapFilter, CountMin>(
           RelaxedHeapFilter(kFilterItems), CountMin(conservative_small)),
       workload);
+
+  Run("SalsaCountMin",
+      SalsaCountMin(SalsaConfig::FromSpaceBudget(kBudget, kWidth, kSeed)),
+      workload);
+  Run("ASketch<SalsaCountMin>",
+      MakeASketchSalsa<RelaxedHeapFilter>(config), workload);
 
   FcmConfig fcm_config =
       FcmConfig::FromSpaceBudget(kBudget, kWidth, kFilterItems, kSeed);

@@ -1,0 +1,105 @@
+// SALSA accuracy-per-byte sweep (Figure-7 style): observed error of
+// SalsaCountMin vs plain Count-Min at equal byte budgets across the
+// error skew grid, plus the budget sweep at Zipf 1.1. The headline
+// number is the error ratio (Count-Min / SALSA) at 128 KB — the
+// self-adjusting 8-bit layout buys ~3.6x more buckets per row, and on
+// skewed streams almost none of them ever outgrow a byte.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common/bench_util.h"
+#include "src/core/asketch.h"
+#include "src/sketch/count_min.h"
+#include "src/sketch/salsa_count_min.h"
+
+namespace asketch {
+namespace bench {
+namespace {
+
+constexpr uint32_t kWidth = 8;
+constexpr uint64_t kSeed = 42;
+
+struct SalsaRun {
+  double error_percent;
+  uint64_t logical_counters;
+  uint64_t merged_pairs;
+  uint64_t merged_quads;
+};
+
+SalsaRun SalsaError(const Workload& workload, size_t budget) {
+  SalsaCountMin salsa(SalsaConfig::FromSpaceBudget(budget, kWidth, kSeed));
+  for (const Tuple& t : workload.stream) salsa.Update(t.key, t.value);
+  return {ObservedErrorPercent(salsa, workload), salsa.LogicalCounters(),
+          salsa.MergedPairs(), salsa.MergedQuads()};
+}
+
+double CountMinError(const Workload& workload, size_t budget) {
+  CountMin cm(CountMinConfig::FromSpaceBudget(budget, kWidth, kSeed));
+  for (const Tuple& t : workload.stream) cm.Update(t.key, t.value);
+  return ObservedErrorPercent(cm, workload);
+}
+
+double ASketchSalsaError(const Workload& workload, size_t budget) {
+  ASketchConfig config;
+  config.total_bytes = budget;
+  config.width = kWidth;
+  config.filter_items = 32;
+  config.seed = kSeed;
+  auto as = MakeASketchSalsa<RelaxedHeapFilter>(config);
+  for (const Tuple& t : workload.stream) as.Update(t.key, t.value);
+  return ObservedErrorPercent(as, workload);
+}
+
+void Main() {
+  const double scale = ScaleFromEnv();
+  PrintBanner("SALSA accuracy per byte",
+              "Observed error (%) of SalsaCountMin vs Count-Min at equal "
+              "budgets; x-accuracy is the Count-Min/SALSA error ratio.",
+              SyntheticSpec(0, scale).ToString());
+
+  std::printf("-- error vs skew at 128 KB --\n");
+  std::printf("%-8s %14s %14s %12s %12s | %12s\n", "skew", "Count-Min",
+              "SALSA", "pair-merges", "quad-merges", "x-accuracy");
+  for (const double skew : ErrorSkewGrid()) {
+    const Workload workload(SyntheticSpec(skew, scale));
+    const double cm = CountMinError(workload, 128 * 1024);
+    const SalsaRun salsa = SalsaError(workload, 128 * 1024);
+    const double ratio =
+        salsa.error_percent > 0 ? cm / salsa.error_percent : 0;
+    std::printf("%-8.1f %14.4g %14.4g %12llu %12llu | %12.1f\n", skew, cm,
+                salsa.error_percent,
+                static_cast<unsigned long long>(salsa.merged_pairs),
+                static_cast<unsigned long long>(salsa.merged_quads),
+                ratio);
+  }
+
+  std::printf("\n-- budget sweep at skew 1.1 --\n");
+  std::printf("%-10s %14s %14s %14s %14s | %12s\n", "budget", "Count-Min",
+              "SALSA", "ASketch+SALSA", "eff-buckets", "x-accuracy");
+  const Workload workload(SyntheticSpec(1.1, scale));
+  for (const size_t kb : {32, 64, 128, 256}) {
+    const size_t budget = kb * 1024;
+    const double cm = CountMinError(workload, budget);
+    const SalsaRun salsa = SalsaError(workload, budget);
+    const double as_salsa = ASketchSalsaError(workload, budget);
+    const double ratio =
+        salsa.error_percent > 0 ? cm / salsa.error_percent : 0;
+    std::printf("%-8zuKB %14.4g %14.4g %14.4g %14llu | %12.1f\n", kb, cm,
+                salsa.error_percent, as_salsa,
+                static_cast<unsigned long long>(salsa.logical_counters),
+                ratio);
+  }
+  std::printf("\n(x-accuracy of 0.0 means the SALSA error was exactly "
+              "zero; eff-buckets counts logical counters surviving "
+              "merges)\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace asketch
+
+int main() {
+  asketch::bench::Main();
+  return 0;
+}

@@ -34,6 +34,7 @@
 //    4 MisraGries         10 RelaxedHeapFilter
 //    5 SpaceSaving        11 StreamSummaryFilter
 //    6 HolisticUdaf       12 WindowedASketch
+//                         13 SalsaCountMin
 //   ASketch<F, S> composes 0x41000000 | (F's tag << 8) | S's tag.
 //   Application formats (e.g. asketch_cli's checkpoint) use tags with a
 //   nonzero top byte outside 0x41.

@@ -10,5 +10,6 @@ template class ASketch<RelaxedHeapFilter, CountMin>;
 template class ASketch<StreamSummaryFilter, CountMin>;
 template class ASketch<RelaxedHeapFilter, Fcm>;
 template class ASketch<RelaxedHeapFilter, CountSketch>;
+template class ASketch<RelaxedHeapFilter, SalsaCountMin>;
 
 }  // namespace asketch

@@ -58,6 +58,7 @@
 #include "src/sketch/count_sketch.h"
 #include "src/sketch/fcm.h"
 #include "src/sketch/frequency_estimator.h"
+#include "src/sketch/salsa_count_min.h"
 
 namespace asketch {
 
@@ -764,6 +765,21 @@ ASketch<FilterT, Fcm> MakeASketchFcm(const ASketchConfig& config) {
                                Fcm(sketch_config));
 }
 
+/// ASketch over the SALSA self-adjusting Count-Min: same byte budget,
+/// packed 8-bit starting counters that merge on overflow, so the tail
+/// that survives the filter meets a ~3.7x wider row (salsa_count_min.h;
+/// bench_salsa_accuracy measures the accuracy-per-byte win).
+template <FilterType FilterT>
+ASketch<FilterT, SalsaCountMin> MakeASketchSalsa(
+    const ASketchConfig& config) {
+  ASKETCH_CHECK(!config.Validate().has_value());
+  const SalsaConfig sketch_config = SalsaConfig::FromSpaceBudget(
+      internal::SketchBudgetBytes<FilterT>(config), config.width,
+      config.seed);
+  return ASketch<FilterT, SalsaCountMin>(FilterT(config.filter_items),
+                                         SalsaCountMin(sketch_config));
+}
+
 /// ASketch over Count Sketch (generality demonstration).
 template <FilterType FilterT>
 ASketch<FilterT, CountSketch> MakeASketchCountSketch(
@@ -782,6 +798,7 @@ extern template class ASketch<RelaxedHeapFilter, CountMin>;
 extern template class ASketch<StreamSummaryFilter, CountMin>;
 extern template class ASketch<RelaxedHeapFilter, Fcm>;
 extern template class ASketch<RelaxedHeapFilter, CountSketch>;
+extern template class ASketch<RelaxedHeapFilter, SalsaCountMin>;
 
 }  // namespace asketch
 

@@ -21,6 +21,13 @@ uint64_t BatchWeight(std::span<const Tuple> tuples) {
   return weight;
 }
 
+AnyServingSketch MakeServingSketch(const ShardSetOptions& options) {
+  if (options.backend == SketchBackend::kSalsa) {
+    return MakeASketchSalsa<RelaxedHeapFilter>(options.shard_config);
+  }
+  return MakeASketchCountMin<RelaxedHeapFilter>(options.shard_config);
+}
+
 }  // namespace
 
 std::optional<std::string> ShardSetOptions::Validate() const {
@@ -36,8 +43,7 @@ ShardSet::ShardSet(const ShardSetOptions& options) : options_(options) {
   shards_.reserve(options.num_shards);
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   for (uint32_t i = 0; i < options.num_shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(
-        MakeASketchCountMin<RelaxedHeapFilter>(options.shard_config)));
+    shards_.push_back(std::make_unique<Shard>(MakeServingSketch(options)));
     Shard* shard = shards_.back().get();
     gauge_ids_.push_back(registry.RegisterCallbackGauge(
         "asketch_net_shard_queue_depth",
@@ -91,7 +97,8 @@ void ShardSet::WorkerLoop(Shard& shard) {
     }
     {
       std::lock_guard<std::mutex> guard(shard.mu);
-      shard.sketch.UpdateBatch(batch);
+      std::visit([&](auto& sketch) { sketch.UpdateBatch(batch); },
+                 shard.sketch);
       // Release: a reader that observes this boundary via
       // AppliedTuples() is guaranteed to also observe the batch it
       // accounts for (the concurrency tests' oracle bracketing).
@@ -145,7 +152,8 @@ uint64_t ShardSet::Ingest(std::span<const Tuple> tuples) {
     metrics.degraded.Set(1);
     if (options_.overload == OverloadPolicy::kInlineApply) {
       std::lock_guard<std::mutex> guard(shard.mu);
-      shard.sketch.UpdateBatch(batch);
+      std::visit([&](auto& sketch) { sketch.UpdateBatch(batch); },
+                 shard.sketch);
       // Release: a reader that observes this boundary via
       // AppliedTuples() is guaranteed to also observe the batch it
       // accounts for (the concurrency tests' oracle bracketing).
@@ -198,7 +206,11 @@ uint64_t ExactHits(const FilterEntry& e) {
 count_t ShardSet::Estimate(item_t key) const {
   const Shard& shard = *shards_[ShardOf(key, num_shards())];
   uint64_t retries = 0;
-  const count_t estimate = shard.sketch.EstimateConcurrent(key, &retries);
+  const count_t estimate = std::visit(
+      [&](const auto& sketch) {
+        return sketch.EstimateConcurrent(key, &retries);
+      },
+      shard.sketch);
   RecordLocklessRead(1, retries);
   return estimate;
 }
@@ -217,9 +229,13 @@ void ShardSet::EstimateBatch(std::span<const item_t> keys,
   uint64_t retries = 0;
   for (uint32_t s = 0; s < n; ++s) {
     const Shard& shard = *shards_[s];
-    for (const uint32_t i : groups[s]) {
-      (*estimates)[i] = shard.sketch.EstimateConcurrent(keys[i], &retries);
-    }
+    std::visit(
+        [&](const auto& sketch) {
+          for (const uint32_t i : groups[s]) {
+            (*estimates)[i] = sketch.EstimateConcurrent(keys[i], &retries);
+          }
+        },
+        shard.sketch);
   }
   RecordLocklessRead(keys.size(), retries);
 }
@@ -227,14 +243,21 @@ void ShardSet::EstimateBatch(std::span<const item_t> keys,
 count_t ShardSet::EstimateMutexBaseline(item_t key) const {
   const Shard& shard = *shards_[ShardOf(key, num_shards())];
   std::lock_guard<std::mutex> guard(shard.mu);
-  return shard.sketch.Estimate(key);
+  return std::visit(
+      [&](const auto& sketch) { return sketch.Estimate(key); },
+      shard.sketch);
 }
 
 std::vector<TopKEntry> ShardSet::TopK(uint32_t k) const {
   std::vector<TopKEntry> merged;
   uint64_t retries = 0;
   for (const auto& shard : shards_) {
-    for (const FilterEntry& e : shard->sketch.TopKConcurrent(&retries)) {
+    const std::vector<FilterEntry> entries = std::visit(
+        [&](const auto& sketch) {
+          return sketch.TopKConcurrent(&retries);
+        },
+        shard->sketch);
+    for (const FilterEntry& e : entries) {
       merged.push_back(TopKEntry{e.key, e.new_count, ExactHits(e)});
     }
   }
@@ -259,14 +282,18 @@ WireStats ShardSet::GetStats() const {
   stats.inline_applied = inline_applied_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> guard(shard->mu);
-    const ASketchStats& s = shard->sketch.stats();
+    std::visit(
+        [&](const auto& sketch) {
+          const ASketchStats& s = sketch.stats();
+          stats.filtered_weight += s.filtered_weight;
+          stats.sketch_weight += s.sketch_weight;
+          stats.exchanges += s.exchanges;
+          stats.sketch_updates += s.sketch_updates;
+          stats.memory_bytes += sketch.MemoryUsageBytes();
+        },
+        shard->sketch);
     stats.ingested +=
         shard->applied_tuples.load(std::memory_order_relaxed);
-    stats.filtered_weight += s.filtered_weight;
-    stats.sketch_weight += s.sketch_weight;
-    stats.exchanges += s.exchanges;
-    stats.sketch_updates += s.sketch_updates;
-    stats.memory_bytes += shard->sketch.MemoryUsageBytes();
     stats.per_shard_ingested.push_back(
         shard->applied_tuples.load(std::memory_order_relaxed));
   }
@@ -281,7 +308,10 @@ std::vector<uint8_t> ShardSet::SerializeLocked() const {
   writer.PutU64(inline_applied_.load(std::memory_order_relaxed));
   for (const auto& shard : shards_) {
     writer.PutU64(shard->applied_tuples.load(std::memory_order_relaxed));
-    if (!shard->sketch.SerializeTo(writer)) return {};
+    const bool ok = std::visit(
+        [&](const auto& sketch) { return sketch.SerializeTo(writer); },
+        shard->sketch);
+    if (!ok) return {};
   }
   return writer.buffer();
 }
@@ -305,20 +335,36 @@ std::optional<std::string> ShardSet::RestoreLocked(
            "a matching --shards)";
   }
   // Parse everything before committing, so a truncated payload cannot
-  // leave the set half-restored.
+  // leave the set half-restored. The parsed alternative matches the
+  // running backend (ASketch's sketch magic differs per backend, so a
+  // snapshot cut under the other --sketch fails to deserialize here
+  // instead of half-adopting).
   std::vector<uint64_t> applied(shard_count);
-  std::vector<ServingSketch> sketches;
+  std::vector<AnyServingSketch> sketches;
   sketches.reserve(shard_count);
   for (uint32_t i = 0; i < shard_count; ++i) {
     if (!reader.GetU64(&applied[i])) {
       return std::string("shard-set payload: truncated shard header");
     }
-    auto sketch = ServingSketch::DeserializeFrom(reader);
-    if (!sketch.has_value()) {
-      return "shard-set payload: shard " + std::to_string(i) +
-             " failed to deserialize";
+    bool parsed = false;
+    if (options_.backend == SketchBackend::kSalsa) {
+      auto sketch = ServingSketchSalsa::DeserializeFrom(reader);
+      if (sketch.has_value()) {
+        sketches.emplace_back(*std::move(sketch));
+        parsed = true;
+      }
+    } else {
+      auto sketch = ServingSketch::DeserializeFrom(reader);
+      if (sketch.has_value()) {
+        sketches.emplace_back(*std::move(sketch));
+        parsed = true;
+      }
     }
-    sketches.push_back(*std::move(sketch));
+    if (!parsed) {
+      return "shard-set payload: shard " + std::to_string(i) +
+             " failed to deserialize (corrupt, or cut under a different "
+             "--sketch backend)";
+    }
   }
   // Adopt in place: the restored state is copied into the live shards'
   // existing buffers instead of move-assigned over them, so lock-free
@@ -327,7 +373,13 @@ std::optional<std::string> ShardSet::RestoreLocked(
   // shape compatibility a hard requirement; check every shard before
   // touching any of them so a mismatch cannot half-restore the set.
   for (uint32_t i = 0; i < shard_count; ++i) {
-    if (!shards_[i]->sketch.CanAdoptFrom(sketches[i])) {
+    const bool adoptable = std::visit(
+        [&](const auto& live) {
+          using SketchT = std::decay_t<decltype(live)>;
+          return live.CanAdoptFrom(std::get<SketchT>(sketches[i]));
+        },
+        shards_[i]->sketch);
+    if (!adoptable) {
       return "shard-set payload: shard " + std::to_string(i) +
              " has a different filter capacity or sketch geometry than "
              "this server's configuration (restart with the snapshot's "
@@ -335,7 +387,12 @@ std::optional<std::string> ShardSet::RestoreLocked(
     }
   }
   for (uint32_t i = 0; i < shard_count; ++i) {
-    shards_[i]->sketch.AdoptFrom(std::move(sketches[i]));
+    std::visit(
+        [&](auto& live) {
+          using SketchT = std::decay_t<decltype(live)>;
+          live.AdoptFrom(std::move(std::get<SketchT>(sketches[i])));
+        },
+        shards_[i]->sketch);
     shards_[i]->applied_tuples.store(applied[i],
                                      std::memory_order_release);
   }

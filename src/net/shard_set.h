@@ -46,6 +46,7 @@
 #include <span>
 #include <string>
 #include <thread>
+#include <variant>
 #include <vector>
 
 #include "src/common/snapshot.h"
@@ -61,6 +62,27 @@ namespace net {
 /// persists, so operators can inspect asketchd snapshots with the CLI's
 /// tooling conventions.
 using ServingSketch = ASketch<RelaxedHeapFilter, CountMin>;
+
+/// The SALSA-backed alternative (asketchd --sketch=salsa): identical
+/// filter, self-adjusting Count-Min rows (salsa_count_min.h). Same
+/// lock-free read guarantees — EstimateRelaxed validates the sketch's
+/// merge epoch instead of relying on cell monotonicity alone.
+using ServingSketchSalsa = ASketch<RelaxedHeapFilter, SalsaCountMin>;
+
+/// Which sketch backend each shard's ASketch composes. The wire format,
+/// shard header, and filter are identical across backends; snapshots
+/// embed the backend's own sketch magic, so restoring a snapshot into a
+/// server running the other backend fails cleanly at deserialization.
+enum class SketchBackend {
+  kCountMin,
+  kSalsa,
+};
+
+/// One shard's synopsis, whichever backend the options selected. All
+/// per-shard operations dispatch through std::visit; the alternatives
+/// share every API the shard code touches, so the visitors are generic
+/// lambdas and the variant never pays a heap indirection.
+using AnyServingSketch = std::variant<ServingSketch, ServingSketchSalsa>;
 
 /// Snapshot payload tag for a serialized ShardSet ("SRD1" — application
 /// namespace, top byte outside the library's 0x41 composed tags).
@@ -78,6 +100,7 @@ inline uint32_t ShardOf(item_t key, uint32_t num_shards) {
 struct ShardSetOptions {
   uint32_t num_shards = 4;
   ASketchConfig shard_config;
+  SketchBackend backend = SketchBackend::kCountMin;
   /// Bounded per-shard queue length, in batches.
   size_t max_queue_batches = 64;
   /// How long Ingest waits on a full queue before degrading.
@@ -175,7 +198,7 @@ class ShardSet {
     /// batch application, inline-apply, restore). Readers go through
     /// the sketch's lock-free query path instead of taking it.
     mutable std::mutex mu;
-    ServingSketch sketch;
+    AnyServingSketch sketch;
     /// Tuples applied (worker + inline). Written under mu, bumped only
     /// at sub-batch boundaries; read without mu by AppliedTuples.
     std::atomic<uint64_t> applied_tuples{0};
@@ -188,7 +211,7 @@ class ShardSet {
     bool busy = false;  ///< worker currently applying a batch
     std::thread worker;
 
-    explicit Shard(ServingSketch s) : sketch(std::move(s)) {}
+    explicit Shard(AnyServingSketch s) : sketch(std::move(s)) {}
   };
 
   void WorkerLoop(Shard& shard);

@@ -100,6 +100,30 @@ struct PipelineMetrics {
   }
 };
 
+/// SalsaCountMin — counter-merge events (salsa_count_min.h). Merges are
+/// rare (bounded by 3/4 of the buckets per sketch lifetime), so the
+/// merge path adds straight to the registry counters instead of banking
+/// deltas. `counters_lost` accumulates logical counters removed by
+/// merging (1 per pair merge, parts−1 per quad merge): the aggregate
+/// effective width across all live salsa sketches is their initial
+/// bucket count minus this total.
+struct SalsaMetrics {
+  Counter& pair_merges;    ///< 8-bit pairs widened to one 16-bit counter
+  Counter& quad_merges;    ///< aligned quads widened to one 32-bit counter
+  Counter& counters_lost;  ///< logical counters removed by merges
+
+  static SalsaMetrics& Get() {
+    static SalsaMetrics* metrics = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return new SalsaMetrics{
+          r.GetCounter("asketch_salsa_pair_merges_total"),
+          r.GetCounter("asketch_salsa_quad_merges_total"),
+          r.GetCounter("asketch_salsa_counters_lost_total")};
+    }();
+    return *metrics;
+  }
+};
+
 /// SnapshotStore — checkpoint durability path.
 struct SnapshotMetrics {
   Counter& saves;

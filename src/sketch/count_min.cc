@@ -13,6 +13,12 @@ namespace asketch {
 
 std::optional<std::string> CountMinConfig::Validate() const {
   if (width < 1) return "CountMin width (number of rows) must be >= 1";
+  // The conservative update path stages one bucket per row in a fixed
+  // 64-entry block (see Update); a wider config would overflow it, and
+  // the DCHECK guarding the block compiles out of release builds.
+  if (width > kMaxWidth) {
+    return "CountMin width (number of rows) must be <= 64";
+  }
   if (depth < 1) return "CountMin depth (cells per row) must be >= 1";
   return std::nullopt;
 }
@@ -20,10 +26,16 @@ std::optional<std::string> CountMinConfig::Validate() const {
 CountMinConfig CountMinConfig::FromSpaceBudget(size_t bytes, uint32_t width,
                                                uint64_t seed) {
   CountMinConfig config;
-  config.width = width;
+  // Clamp into the valid row range before dividing: width 0 would be a
+  // division by zero below, and the result must pass Validate().
+  config.width = std::max<uint32_t>(1, std::min(width, kMaxWidth));
+  const size_t depth =
+      std::max<size_t>(1, bytes / (static_cast<size_t>(config.width) *
+                                   sizeof(count_t)));
+  // Budgets beyond 16 GiB used to truncate size_t -> uint32_t and wrap
+  // to a tiny (or zero) depth; cap at the type's range instead.
   config.depth = static_cast<uint32_t>(
-      std::max<size_t>(1, bytes / (static_cast<size_t>(width) *
-                                   sizeof(count_t))));
+      std::min<size_t>(depth, std::numeric_limits<uint32_t>::max()));
   config.seed = seed;
   return config;
 }

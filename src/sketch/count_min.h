@@ -48,11 +48,16 @@ struct CountMinConfig {
   uint64_t seed = 42;
   CmUpdatePolicy policy = CmUpdatePolicy::kPlain;
 
+  /// Largest accepted `width`: the conservative-update path stages one
+  /// bucket per row in a fixed 64-entry block.
+  static constexpr uint32_t kMaxWidth = 64;
+
   /// Returns an error message if invalid, std::nullopt otherwise.
   std::optional<std::string> Validate() const;
 
   /// Config with `width` rows whose total cell storage fits `bytes`.
-  /// depth = bytes / (width * sizeof(count_t)).
+  /// depth = bytes / (width * sizeof(count_t)), capped at UINT32_MAX;
+  /// `width` is clamped into [1, kMaxWidth] before dividing.
   static CountMinConfig FromSpaceBudget(size_t bytes, uint32_t width,
                                         uint64_t seed = 42);
 };

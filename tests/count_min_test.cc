@@ -1,5 +1,6 @@
 #include "src/sketch/count_min.h"
 
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -28,6 +29,42 @@ TEST(CountMinConfigTest, ValidatesParameters) {
   config = SmallConfig();
   config.depth = 0;
   EXPECT_TRUE(config.Validate().has_value());
+}
+
+TEST(CountMinConfigTest, RejectsWidthBeyondConservativeBucketBlock) {
+  // Regression: the conservative update path stages one bucket per row
+  // in a fixed uint32_t[64] block guarded only by a DCHECK, so a
+  // width-65 config used to validate fine and overflow the stack in
+  // release builds. Validate() must reject it up front.
+  CountMinConfig config = SmallConfig();
+  config.width = CountMinConfig::kMaxWidth;
+  EXPECT_FALSE(config.Validate().has_value());
+  config.width = CountMinConfig::kMaxWidth + 1;
+  EXPECT_TRUE(config.Validate().has_value());
+}
+
+TEST(CountMinConfigTest, FromSpaceBudgetGuardsDegenerateWidth) {
+  // Regression: width 0 used to divide by zero (UB); it must clamp to a
+  // valid single-row config instead.
+  const CountMinConfig config = CountMinConfig::FromSpaceBudget(1024, 0);
+  EXPECT_EQ(config.width, 1u);
+  EXPECT_FALSE(config.Validate().has_value());
+  EXPECT_EQ(config.depth, 256u);  // 1024 B / (1 row * 4 B)
+  // Widths beyond the valid range clamp too, so the returned config
+  // always passes Validate().
+  const CountMinConfig wide = CountMinConfig::FromSpaceBudget(1024, 1000);
+  EXPECT_EQ(wide.width, CountMinConfig::kMaxWidth);
+  EXPECT_FALSE(wide.Validate().has_value());
+}
+
+TEST(CountMinConfigTest, FromSpaceBudgetClampsHugeBudgets) {
+  // Regression: the computed depth was truncated size_t -> uint32_t, so
+  // a budget over 16 GiB wrapped to a tiny (or zero) depth. It must cap
+  // at UINT32_MAX instead. Config-only check: nothing is allocated.
+  const size_t kHuge = size_t{1} << 35;  // 32 GiB, depth_raw = 2^33
+  const CountMinConfig config = CountMinConfig::FromSpaceBudget(kHuge, 1);
+  EXPECT_EQ(config.depth, std::numeric_limits<uint32_t>::max());
+  EXPECT_FALSE(config.Validate().has_value());
 }
 
 TEST(CountMinConfigTest, FromSpaceBudgetMatchesPaperAccounting) {
@@ -181,6 +218,48 @@ TEST(CountMinTest, UpdateAndEstimateConservativePolicy) {
     const count_t fused_estimate = fused.UpdateAndEstimate(key, 1);
     plain.Update(key, 1);
     ASSERT_EQ(fused_estimate, plain.Estimate(key)) << "step " << i;
+  }
+}
+
+TEST(CountMinTest, AdoptFromCarriesUpdatePolicy) {
+  // AdoptFrom copies the donor's update policy along with its cells: a
+  // --recover-style re-adoption of a conservative-policy snapshot into a
+  // plain-policy instance must continue updating conservatively (and
+  // vice versa), or estimates drift from the recovered lineage.
+  CountMinConfig plain_config = SmallConfig(4, 128, 21);
+  CountMinConfig cons_config = plain_config;
+  cons_config.policy = CmUpdatePolicy::kConservative;
+
+  CountMin donor(cons_config);
+  CountMin reference(cons_config);
+  Rng rng(29);
+  std::vector<Tuple> prefix;
+  for (int i = 0; i < 20000; ++i) {
+    prefix.push_back(Tuple{static_cast<item_t>(rng.NextBounded(1000)), 1});
+  }
+  for (const Tuple& t : prefix) {
+    donor.Update(t.key, t.value);
+    reference.Update(t.key, t.value);
+  }
+
+  CountMin adopted(plain_config);  // plain policy before the adoption
+  ASSERT_TRUE(adopted.CanAdoptFrom(donor));
+  adopted.AdoptFrom(std::move(donor));
+  EXPECT_EQ(adopted.config().policy, CmUpdatePolicy::kConservative);
+
+  // Post-adoption updates must follow the adopted (conservative) policy:
+  // bit-identical estimates to a sketch that was conservative all along.
+  std::vector<Tuple> suffix;
+  for (int i = 0; i < 20000; ++i) {
+    suffix.push_back(Tuple{static_cast<item_t>(rng.NextBounded(1000)), 1});
+  }
+  for (const Tuple& t : suffix) {
+    adopted.Update(t.key, t.value);
+    reference.Update(t.key, t.value);
+  }
+  for (item_t key = 0; key < 1000; ++key) {
+    ASSERT_EQ(adopted.Estimate(key), reference.Estimate(key))
+        << "key " << key;
   }
 }
 

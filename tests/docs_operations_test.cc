@@ -69,6 +69,7 @@ std::map<std::string, std::string> DocumentedMetrics(
 std::map<std::string, std::string> LiveMetrics() {
   obs::IngestMetrics::Get();
   obs::PipelineMetrics::Get();
+  obs::SalsaMetrics::Get();
   obs::SnapshotMetrics::Get();
   net::NetMetrics::Get();
   // The SPMD families register inside Process() worker threads.

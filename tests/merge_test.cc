@@ -2,6 +2,7 @@
 // summaries are merged; the result must answer queries over the union
 // stream with each structure's usual guarantees.
 
+#include <algorithm>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -61,6 +62,61 @@ TEST(CountMinMergeTest, RejectsIncompatibleConfigs) {
   EXPECT_TRUE(a.MergeFrom(b).has_value());
   CountMin c(CountMinConfig::FromSpaceBudget(8 * 1024, 4, 9));  // depth
   EXPECT_TRUE(a.MergeFrom(c).has_value());
+}
+
+TEST(SalsaCountMinMergeTest, MergedStaysOneSidedOverTheUnion) {
+  // Salsa merging is not cell-wise addition (a merged counter covers its
+  // neighbors with the max of their targets), so the merged sketch is
+  // not bit-identical to a single-stream sketch. The contract is
+  // one-sidedness over the union, with each bucket at least the sum of
+  // the two inputs' readings.
+  const SplitStream split = MakeSplit(1.2);
+  const SalsaConfig config = SalsaConfig::FromSpaceBudget(16 * 1024, 4, 9);
+  SalsaCountMin a(config), b(config);
+  for (const Tuple& t : split.first) a.Update(t.key, t.value);
+  for (const Tuple& t : split.second) b.Update(t.key, t.value);
+  // Snapshot the inputs' estimates before the merge mutates `a`.
+  std::vector<count_t> a_est(5000), b_est(5000);
+  for (item_t key = 0; key < 5000; ++key) {
+    a_est[key] = a.Estimate(key);
+    b_est[key] = b.Estimate(key);
+  }
+  ASSERT_FALSE(a.MergeFrom(b).has_value());
+  for (item_t key = 0; key < 5000; ++key) {
+    ASSERT_GE(a.Estimate(key), split.truth.Count(key)) << "key " << key;
+    // Every bucket was raised to at least the sum of both inputs'
+    // readings, so per key the merged estimate dominates each input's
+    // estimate (different rows may attain the two minima, so only the
+    // max — not the sum — is a sound lower bound here).
+    ASSERT_GE(a.Estimate(key), std::max(a_est[key], b_est[key]))
+        << "key " << key;
+  }
+}
+
+TEST(SalsaCountMinMergeTest, RejectsIncompatibleConfigs) {
+  SalsaCountMin a(SalsaConfig::FromSpaceBudget(16 * 1024, 4, 9));
+  SalsaCountMin b(SalsaConfig::FromSpaceBudget(16 * 1024, 4, 10));  // seed
+  EXPECT_TRUE(a.MergeFrom(b).has_value());
+  SalsaCountMin c(SalsaConfig::FromSpaceBudget(8 * 1024, 4, 9));  // depth
+  EXPECT_TRUE(a.MergeFrom(c).has_value());
+}
+
+TEST(SalsaCountMinMergeTest, MergePreservesHeavilyMergedLayouts) {
+  // Both inputs overflow into merged counters first; the fold must stay
+  // one-sided even when it has to re-derive a coarser layout.
+  SalsaConfig config;
+  config.width = 4;
+  config.depth = 64;
+  config.seed = 9;
+  const SplitStream split = MakeSplit(1.4, 200000, 1000);
+  SalsaCountMin a(config), b(config);
+  for (const Tuple& t : split.first) a.Update(t.key, t.value);
+  for (const Tuple& t : split.second) b.Update(t.key, t.value);
+  ASSERT_GT(a.MergedPairs() + b.MergedPairs(), 0u);
+  ASSERT_FALSE(a.MergeFrom(b).has_value());
+  for (item_t key = 0; key < 1000; ++key) {
+    ASSERT_GE(a.Estimate(key), split.truth.Count(key)) << "key " << key;
+  }
 }
 
 TEST(CountSketchMergeTest, MergedEqualsSingleStreamSketch) {

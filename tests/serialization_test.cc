@@ -101,6 +101,70 @@ TEST(SerializationTest, CountMinConservativePolicySurvives) {
   EXPECT_EQ(restored.Estimate(1), 15u);
 }
 
+TEST(SerializationTest, SalsaCountMinRoundTrip) {
+  SalsaCountMin sketch(SalsaConfig::FromSpaceBudget(16 * 1024, 4, 9));
+  for (const Tuple& t : TestStream()) sketch.Update(t.key, t.value);
+  ASSERT_GT(sketch.MergedPairs(), 0u);  // layout state must round-trip too
+  const SalsaCountMin restored = RoundTrip(sketch);
+  EXPECT_EQ(restored.MergedPairs(), sketch.MergedPairs());
+  EXPECT_EQ(restored.MergedQuads(), sketch.MergedQuads());
+  for (item_t key = 0; key < 5000; key += 13) {
+    EXPECT_EQ(restored.Estimate(key), sketch.Estimate(key));
+  }
+}
+
+TEST(SerializationTest, SalsaCountMinCorruptedInputsYieldNullopt) {
+  SalsaCountMin sketch(SalsaConfig::FromSpaceBudget(4 * 1024, 4, 9));
+  sketch.Update(1, 5);
+  BinaryWriter writer;
+  ASSERT_TRUE(sketch.SerializeTo(writer));
+  {
+    std::vector<uint8_t> bytes = writer.buffer();
+    bytes[0] ^= 0xff;  // wrong magic
+    BinaryReader reader(bytes);
+    EXPECT_FALSE(SalsaCountMin::DeserializeFrom(reader).has_value());
+  }
+  {
+    BinaryReader reader(writer.buffer().data(),
+                        writer.buffer().size() / 2);  // truncated
+    EXPECT_FALSE(SalsaCountMin::DeserializeFrom(reader).has_value());
+  }
+  // A plain CountMin blob must not deserialize as a Salsa sketch.
+  {
+    CountMin cm(CountMinConfig::FromSpaceBudget(4 * 1024, 4, 9));
+    BinaryWriter cm_writer;
+    ASSERT_TRUE(cm.SerializeTo(cm_writer));
+    BinaryReader reader(cm_writer.buffer());
+    EXPECT_FALSE(SalsaCountMin::DeserializeFrom(reader).has_value());
+  }
+}
+
+TEST(SerializationTest, ASketchSalsaRoundTripFullState) {
+  ASketchConfig config;
+  config.total_bytes = 16 * 1024;
+  config.width = 4;
+  config.filter_items = 16;
+  config.seed = 3;
+  auto as = MakeASketchSalsa<RelaxedHeapFilter>(config);
+  for (const Tuple& t : TestStream()) as.Update(t.key, t.value);
+
+  BinaryWriter writer;
+  ASSERT_TRUE(as.SerializeTo(writer));
+  BinaryReader reader(writer.buffer());
+  auto restored =
+      ASketch<RelaxedHeapFilter, SalsaCountMin>::DeserializeFrom(reader);
+  ASSERT_TRUE(restored.has_value());
+  for (item_t key = 0; key < 5000; key += 3) {
+    EXPECT_EQ(restored->Estimate(key), as.Estimate(key));
+  }
+  EXPECT_EQ(restored->stats().exchanges, as.stats().exchanges);
+  // A countmin-backed composite blob must not restore as salsa-backed.
+  BinaryReader cross_reader(writer.buffer());
+  const auto cross =
+      ASketch<RelaxedHeapFilter, CountMin>::DeserializeFrom(cross_reader);
+  EXPECT_FALSE(cross.has_value());
+}
+
 TEST(SerializationTest, CountSketchRoundTrip) {
   CountSketch sketch(CountSketchConfig::FromSpaceBudget(16 * 1024, 5, 9));
   for (const Tuple& t : TestStream()) sketch.Update(t.key, t.value);

@@ -1,6 +1,7 @@
 // asketchd — the sharded ASketch network server (docs/OPERATIONS.md).
 //
-//   asketchd [--port P] [--shards N] [--bytes B] [--width W]
+//   asketchd [--port P] [--shards N] [--sketch countmin|salsa]
+//            [--bytes B] [--width W]
 //            [--filter F] [--seed S] [--prefix PFX] [--retain R]
 //            [--recover] [--checkpoint-interval-ms MS]
 //            [--metrics-port MP] [--queue-batches Q]
@@ -47,7 +48,8 @@ void HandleCheckpointSignal(int) { g_checkpoint = 1; }
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: asketchd [--port P] [--shards N] [--bytes B] [--width W]\n"
+      "usage: asketchd [--port P] [--shards N]\n"
+      "                [--sketch countmin|salsa] [--bytes B] [--width W]\n"
       "                [--filter F] [--seed S] [--prefix PFX]\n"
       "                [--retain R] [--recover]\n"
       "                [--checkpoint-interval-ms MS] [--metrics-port MP]\n"
@@ -58,6 +60,8 @@ int Usage() {
       "ephemeral)\n"
       "  --shards N          keyspace shards, one worker each (default "
       "4)\n"
+      "  --sketch BACKEND    per-shard sketch backend: countmin "
+      "(default) or salsa\n"
       "  --bytes B           per-shard synopsis budget (default "
       "131072)\n"
       "  --width W           sketch rows per shard (default 8)\n"
@@ -111,11 +115,23 @@ int main(int argc, char** argv) {
     } else if (arg == "--shards") {
       if (!ParseU64(value(), &n) || n < 1 || n > 256) return Usage();
       options.shards.num_shards = static_cast<uint32_t>(n);
+    } else if (arg == "--sketch") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      if (std::strcmp(v, "countmin") == 0) {
+        options.shards.backend = net::SketchBackend::kCountMin;
+      } else if (std::strcmp(v, "salsa") == 0) {
+        options.shards.backend = net::SketchBackend::kSalsa;
+      } else {
+        return Usage();
+      }
     } else if (arg == "--bytes") {
       if (!ParseU64(value(), &n) || n < 1024) return Usage();
       options.shards.shard_config.total_bytes = n;
     } else if (arg == "--width") {
-      if (!ParseU64(value(), &n) || n < 1) return Usage();
+      // Both backends stage one bucket per row in fixed 64-entry blocks
+      // (CountMinConfig::kMaxWidth); reject instead of silently clamping.
+      if (!ParseU64(value(), &n) || n < 1 || n > 64) return Usage();
       options.shards.shard_config.width = static_cast<uint32_t>(n);
     } else if (arg == "--filter") {
       if (!ParseU64(value(), &n) || n < 1) return Usage();

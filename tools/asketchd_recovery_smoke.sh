@@ -8,6 +8,9 @@
 # after the snapshot must be gone: durability is exactly the snapshot,
 # no more and no less.
 #
+# The whole flow runs once per sketch backend (--sketch countmin, then
+# --sketch salsa): recovery must be backend-agnostic.
+#
 # usage: asketchd_recovery_smoke.sh <build_dir>
 set -u
 
@@ -22,9 +25,6 @@ fail() { echo "FAIL: $*" >&2; exit 1; }
 
 [ -x "$ASKETCHD" ] || fail "missing $ASKETCHD"
 [ -x "$LOADGEN" ] || fail "missing $LOADGEN"
-
-PREFIX="$WORK/ckpt/serve"
-DAEMON_FLAGS=(--port 0 --shards 4 --bytes 32768 --prefix "$PREFIX")
 
 # Starts asketchd with stdout to $1 and waits for the listening line;
 # sets SERVER_PID and PORT.
@@ -43,46 +43,59 @@ start_server() {
   fail "server never started listening: $(cat "$log")"
 }
 
-start_server "$WORK/server1.log"
-echo "server up on port $PORT (pid $SERVER_PID)"
+run_smoke() {
+  local backend=$1
+  local dir="$WORK/$backend"
+  mkdir -p "$dir"
+  PREFIX="$dir/ckpt/serve"
+  DAEMON_FLAGS=(--port 0 --shards 4 --bytes 32768 --prefix "$PREFIX"
+                --sketch "$backend")
+  echo "--- backend: $backend ---"
 
-"$LOADGEN" --port "$PORT" --tuples 200000 --keys 20000 --seed 5 \
-  >"$WORK/load1.log" 2>&1 || fail "initial load: $(cat "$WORK/load1.log")"
+  start_server "$dir/server1.log"
+  echo "server up on port $PORT (pid $SERVER_PID)"
 
-"$LOADGEN" --port "$PORT" --snapshot >"$WORK/snap.log" 2>&1 \
-  || fail "snapshot: $(cat "$WORK/snap.log")"
-SAVED=$(sed -n 's/^snapshot \(.*\)$/\1/p' "$WORK/snap.log")
-[ -n "$SAVED" ] || fail "no snapshot line in: $(cat "$WORK/snap.log")"
-echo "recorded snapshot: $SAVED"
+  "$LOADGEN" --port "$PORT" --tuples 200000 --keys 20000 --seed 5 \
+    >"$dir/load1.log" 2>&1 || fail "initial load: $(cat "$dir/load1.log")"
 
-# Second ingest, killed mid-flight. The loadgen is expected to die with
-# a connection error once the server is gone — ignore its status.
-"$LOADGEN" --port "$PORT" --tuples 8000000 --keys 20000 --seed 6 \
-  >"$WORK/load2.log" 2>&1 &
-LOAD_PID=$!
-sleep 0.3
-kill -9 "$SERVER_PID" 2>/dev/null || fail "server already gone before kill"
-wait "$SERVER_PID" 2>/dev/null
-[ $? -eq 137 ] || fail "expected SIGKILL exit 137"
-SERVER_PID=""
-wait "$LOAD_PID" 2>/dev/null
-echo "killed server mid-ingest"
+  "$LOADGEN" --port "$PORT" --snapshot >"$dir/snap.log" 2>&1 \
+    || fail "snapshot: $(cat "$dir/snap.log")"
+  SAVED=$(sed -n 's/^snapshot \(.*\)$/\1/p' "$dir/snap.log")
+  [ -n "$SAVED" ] || fail "no snapshot line in: $(cat "$dir/snap.log")"
+  echo "recorded snapshot: $SAVED"
 
-start_server "$WORK/server2.log" --recover
-RECOVERED=$(sed -n 's/^recovered \(.*\)$/\1/p' "$WORK/server2.log")
-[ -n "$RECOVERED" ] || fail "no recovered line in: $(cat "$WORK/server2.log")"
-echo "startup reports: $RECOVERED"
-[ "$RECOVERED" = "$SAVED" ] \
-  || fail "recovered state differs from snapshot: '$RECOVERED' vs '$SAVED'"
+  # Second ingest, killed mid-flight. The loadgen is expected to die
+  # with a connection error once the server is gone — ignore its status.
+  "$LOADGEN" --port "$PORT" --tuples 8000000 --keys 20000 --seed 6 \
+    >"$dir/load2.log" 2>&1 &
+  LOAD_PID=$!
+  sleep 0.3
+  kill -9 "$SERVER_PID" 2>/dev/null || fail "server already gone before kill"
+  wait "$SERVER_PID" 2>/dev/null
+  [ $? -eq 137 ] || fail "expected SIGKILL exit 137"
+  SERVER_PID=""
+  wait "$LOAD_PID" 2>/dev/null
+  echo "killed server mid-ingest"
 
-"$LOADGEN" --port "$PORT" --probe >"$WORK/probe.log" 2>&1 \
-  || fail "probe: $(cat "$WORK/probe.log")"
-PROBED=$(sed -n 's/^digest \(.*\)$/\1/p' "$WORK/probe.log")
-[ "$PROBED" = "$SAVED" ] \
-  || fail "wire digest differs from snapshot: '$PROBED' vs '$SAVED'"
+  start_server "$dir/server2.log" --recover
+  RECOVERED=$(sed -n 's/^recovered \(.*\)$/\1/p' "$dir/server2.log")
+  [ -n "$RECOVERED" ] || fail "no recovered line in: $(cat "$dir/server2.log")"
+  echo "startup reports: $RECOVERED"
+  [ "$RECOVERED" = "$SAVED" ] \
+    || fail "recovered state differs from snapshot: '$RECOVERED' vs '$SAVED'"
 
-kill "$SERVER_PID" 2>/dev/null
-wait "$SERVER_PID" 2>/dev/null
-SERVER_PID=""
+  "$LOADGEN" --port "$PORT" --probe >"$dir/probe.log" 2>&1 \
+    || fail "probe: $(cat "$dir/probe.log")"
+  PROBED=$(sed -n 's/^digest \(.*\)$/\1/p' "$dir/probe.log")
+  [ "$PROBED" = "$SAVED" ] \
+    || fail "wire digest differs from snapshot: '$PROBED' vs '$SAVED'"
 
-echo "PASS: recovered serving state is bit-identical to the snapshot"
+  kill "$SERVER_PID" 2>/dev/null
+  wait "$SERVER_PID" 2>/dev/null
+  SERVER_PID=""
+}
+
+run_smoke countmin
+run_smoke salsa
+
+echo "PASS: recovered serving state is bit-identical to the snapshot (both backends)"
