@@ -31,6 +31,8 @@
 #include <vector>
 
 #include "bench/common/bench_util.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
 #include "src/net/shard_set.h"
 
 namespace asketch {
@@ -204,6 +206,47 @@ int Run() {
   std::printf("\nbatched lock-free vs per-key mutex: p50 %.1fx, "
               "queries/s %.1fx\n",
               speedup_p50, speedup_qps);
+
+  // Faults-off loopback ingest: pins the no-fault overhead of the
+  // client/server fault-tolerance machinery (SocketIoHooks dispatch,
+  // deadline plumbing, replay accounting — all off by default). The
+  // row is tracked across PRs; the fault-tolerance PR's budget was a
+  // ≤2% regression versus the pre-hooks baseline.
+  {
+    net::ServerOptions server_options;
+    server_options.shards = options;
+    net::Server server(server_options);
+    if (auto error = server.Start()) {
+      std::printf("\nloopback ingest: skipped (%s)\n", error->c_str());
+      return 0;
+    }
+    net::Client client;
+    if (auto error = client.Connect({.port = server.port()})) {
+      std::printf("\nloopback ingest: skipped (%s)\n", error->c_str());
+      return 0;
+    }
+    constexpr size_t kNetBatch = 1024;
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t at = 0; at < stream.size(); at += kNetBatch) {
+      const size_t count = std::min(kNetBatch, stream.size() - at);
+      if (client.Update(
+              std::span<const Tuple>(stream.data() + at, count))) {
+        break;
+      }
+    }
+    (void)client.Flush();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    std::printf("\nloopback ingest (faults off, default deadlines): "
+                "%.2f Mupdates/s (%zu tuples)\n",
+                seconds > 0
+                    ? static_cast<double>(stream.size()) / seconds / 1e6
+                    : 0,
+                stream.size());
+    server.Stop();
+  }
   return 0;
 }
 

@@ -1,14 +1,22 @@
 #include "src/net/client.h"
 
+#include <algorithm>
 #include <cstring>
 
 #if defined(__unix__) || defined(__APPLE__)
 #define ASKETCH_NET_SUPPORTED 1
 #include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <thread>
 #include <unistd.h>
+
+#include "src/net/net_metrics.h"
 #else
 #define ASKETCH_NET_SUPPORTED 0
 #endif
@@ -20,62 +28,115 @@ Client::~Client() { Close(); }
 
 #if ASKETCH_NET_SUPPORTED
 
+namespace {
+
+constexpr int kSendFlags =
+#ifdef MSG_NOSIGNAL
+    MSG_NOSIGNAL;
+#else
+    0;
+#endif
+
+}  // namespace
+
 std::optional<std::string> Client::Connect(const ClientOptions& options) {
   if (fd_ >= 0) return std::string("already connected");
   options_ = options;
+  if (auto error = Dial()) return error;
+  session_open_ = true;
+  return std::nullopt;
+}
+
+std::optional<std::string> Client::Dial() {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return std::string("socket() failed");
+  // Nonblocking from birth: every wait below goes through poll with a
+  // deadline, so no syscall can block past the armed timeouts.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(options.port);
-  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
     ::close(fd);
-    return "bad host address: " + options.host;
+    return "bad host address: " + options_.host;
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
+  const std::string endpoint =
+      options_.host + ":" + std::to_string(options_.port);
+  int rc = SocketConnect(options_.io, fd,
+                         reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 &&
+      (errno == EINPROGRESS || errno == EINTR || errno == EALREADY)) {
+    // The dial continues asynchronously (EINTR included: POSIX keeps
+    // the attempt alive); completion is POLLOUT + SO_ERROR.
+    if (auto error =
+            WaitReady(fd, POLLOUT, options_.connect_timeout_ms)) {
+      ::close(fd);
+      return "connect to " + endpoint + " failed: " + *error;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
+    rc = (so_error == 0) ? 0 : -1;
+  }
+  if (rc != 0) {
     ::close(fd);
-    return "connect to " + options.host + ":" +
-           std::to_string(options.port) + " failed";
+    return "connect to " + endpoint + " failed";
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   fd_ = fd;
+  decoder_ = FrameDecoder{};
+  conn_sent_tuples_ = 0;
+  batches_since_ack_ = 0;
+  acks_requested_ = 0;
+  acks_received_ = 0;
+  last_ack_ = UpdateAck{};
 
-  if (auto error = Send(EncodeHelloRequest(HelloRequest{}))) {
-    Close();
-    return error;
-  }
-  Frame response;
-  if (auto error = ReadResponse(Opcode::kHello, &response)) {
-    Close();
-    return error;
-  }
-  if (response.status == NetStatus::kVersionMismatch) {
-    std::string range = "?";
-    if (response.payload.size() == 8) {
-      uint32_t lo = 0, hi = 0;
-      std::memcpy(&lo, response.payload.data(), 4);
-      std::memcpy(&hi, response.payload.data() + 4, 4);
-      range = std::to_string(lo) + ".." + std::to_string(hi);
+  // The HELLO exchange runs under the connect deadline, not the I/O
+  // deadlines: a dial against a half-up server must also time out.
+  io_timeout_override_ms_ = options_.connect_timeout_ms;
+  auto hello_error = [this]() -> std::optional<std::string> {
+    if (auto error = Send(EncodeHelloRequest(HelloRequest{}))) {
+      return error;
     }
-    Close();
-    return "protocol version mismatch: client speaks " +
-           std::to_string(kProtocolVersionMin) + ".." +
-           std::to_string(kProtocolVersionMax) + ", server speaks " + range;
+    Frame response;
+    if (auto error = ReadResponse(Opcode::kHello, &response)) {
+      return error;
+    }
+    if (response.status == NetStatus::kVersionMismatch) {
+      std::string range = "?";
+      if (response.payload.size() == 8) {
+        uint32_t lo = 0, hi = 0;
+        std::memcpy(&lo, response.payload.data(), 4);
+        std::memcpy(&hi, response.payload.data() + 4, 4);
+        range = std::to_string(lo) + ".." + std::to_string(hi);
+      }
+      transport_failed_ = false;
+      return "protocol version mismatch: client speaks " +
+             std::to_string(kProtocolVersionMin) + ".." +
+             std::to_string(kProtocolVersionMax) + ", server speaks " +
+             range;
+    }
+    HelloResponse hello;
+    if (response.status != NetStatus::kOk ||
+        !ParseHelloResponse(response.payload, &hello)) {
+      transport_failed_ = true;
+      return std::string("malformed HELLO response");
+    }
+    version_ = hello.version;
+    server_shards_ = hello.num_shards;
+    return std::nullopt;
+  }();
+  io_timeout_override_ms_ = 0;
+  if (hello_error) {
+    DropConnection();
+    return hello_error;
   }
-  HelloResponse hello;
-  if (response.status != NetStatus::kOk ||
-      !ParseHelloResponse(response.payload, &hello)) {
-    Close();
-    return std::string("malformed HELLO response");
-  }
-  version_ = hello.version;
-  server_shards_ = hello.num_shards;
   return std::nullopt;
 }
 
-void Client::Close() {
+void Client::DropConnection() {
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
@@ -83,153 +144,367 @@ void Client::Close() {
   decoder_ = FrameDecoder{};
   version_ = 0;
   server_shards_ = 0;
-  sent_tuples_ = 0;
+  conn_sent_tuples_ = 0;
   batches_since_ack_ = 0;
   acks_requested_ = 0;
   acks_received_ = 0;
   last_ack_ = UpdateAck{};
 }
 
+void Client::Close() {
+  DropConnection();
+  sent_tuples_ = 0;
+  replay_.clear();
+  session_open_ = false;
+  transport_failed_ = false;
+}
+
+void Client::SleepBackoff(uint32_t attempt) {
+  if (options_.retry_backoff_ms == 0) return;
+  const uint64_t ms = std::min<uint64_t>(
+      1000, static_cast<uint64_t>(options_.retry_backoff_ms)
+                << std::min<uint32_t>(attempt, 20));
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+std::optional<std::string> Client::Reconnect() {
+  DropConnection();
+  std::string last_error = "no attempts made";
+  for (uint32_t attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) SleepBackoff(attempt - 1);
+    auto error = Dial();
+    if (!error) error = ReplayPending();
+    if (!error) {
+      ++reconnects_;
+      NetMetrics::Get().client_reconnects.Add(1);
+      return std::nullopt;
+    }
+    last_error = *error;
+    DropConnection();
+  }
+  transport_failed_ = true;
+  return "reconnect failed: " + last_error;
+}
+
+std::optional<std::string> Client::ReplayPending() {
+  std::deque<PendingBatch> pending;
+  pending.swap(replay_);
+  for (size_t i = 0; i < pending.size(); ++i) {
+    ++batches_since_ack_;
+    const bool want_ack = (i + 1 == pending.size()) ||
+                          batches_since_ack_ >= options_.ack_every;
+    if (want_ack) {
+      batches_since_ack_ = 0;
+      ++acks_requested_;
+    }
+    const uint64_t size = pending[i].tuples.size();
+    replay_.push_back(PendingBatch{std::move(pending[i].tuples),
+                                   conn_sent_tuples_ + size});
+    auto error =
+        Send(EncodeUpdateRequest(replay_.back().tuples, want_ack));
+    if (!error) {
+      conn_sent_tuples_ += size;
+      replayed_tuples_ += size;
+      NetMetrics::Get().client_replayed_tuples.Add(size);
+      // AwaitAcks may retire earlier replay_ entries in place.
+      error = AwaitAcks(options_.max_outstanding_acks);
+    }
+    if (error) {
+      // Hand the unsent tail back so the next attempt replays it too
+      // (end counts are recomputed on that pass).
+      for (size_t j = i + 1; j < pending.size(); ++j) {
+        replay_.push_back(std::move(pending[j]));
+      }
+      return error;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> Client::EnsureConnected() {
+  if (fd_ >= 0) return std::nullopt;
+  if (!session_open_ || !options_.auto_reconnect) {
+    return std::string("not connected");
+  }
+  return Reconnect();
+}
+
 std::optional<std::string> Client::Update(std::span<const Tuple> tuples) {
-  if (fd_ < 0) return std::string("not connected");
+  if (auto error = EnsureConnected()) return error;
   ++batches_since_ack_;
   const bool want_ack = batches_since_ack_ >= options_.ack_every;
   if (want_ack) {
     batches_since_ack_ = 0;
     ++acks_requested_;
   }
-  if (auto error = Send(EncodeUpdateRequest(tuples, want_ack))) {
-    return error;
+  if (options_.auto_reconnect) {
+    // Buffered before the send: a batch is retired only by an ack that
+    // covers it, so a failure anywhere below replays it.
+    replay_.push_back(
+        PendingBatch{std::vector<Tuple>(tuples.begin(), tuples.end()),
+                     conn_sent_tuples_ + tuples.size()});
+    sent_tuples_ += tuples.size();
   }
-  sent_tuples_ += tuples.size();
-  return AwaitAcks(options_.max_outstanding_acks);
+  auto error = Send(EncodeUpdateRequest(tuples, want_ack));
+  if (!error) {
+    conn_sent_tuples_ += tuples.size();
+    if (!options_.auto_reconnect) sent_tuples_ += tuples.size();
+    error = AwaitAcks(options_.max_outstanding_acks);
+  }
+  if (error && transport_failed_ && options_.auto_reconnect) {
+    if (auto reconnect_error = Reconnect()) return reconnect_error;
+    error = AwaitAcks(options_.max_outstanding_acks);
+  }
+  return error;
 }
 
 std::optional<std::string> Client::Flush() {
-  if (fd_ < 0) return std::string("not connected");
-  ++acks_requested_;
-  batches_since_ack_ = 0;
-  if (auto error = Send(EncodeUpdateRequest({}, /*want_ack=*/true))) {
-    return error;
+  if (auto error = EnsureConnected()) return error;
+  for (uint32_t round = 0;; ++round) {
+    ++acks_requested_;
+    batches_since_ack_ = 0;
+    auto error = Send(EncodeUpdateRequest({}, /*want_ack=*/true));
+    if (!error) error = AwaitAcks(0);
+    if (!error) return std::nullopt;
+    if (!transport_failed_ || !options_.auto_reconnect ||
+        round >= options_.max_retries) {
+      return error;
+    }
+    if (auto reconnect_error = Reconnect()) return reconnect_error;
   }
-  return AwaitAcks(0);
+}
+
+template <typename Op>
+std::optional<std::string> Client::WithRetry(Op&& op) {
+  for (uint32_t attempt = 0;; ++attempt) {
+    std::optional<std::string> error;
+    if (fd_ < 0) {
+      // Default options (no retries, no reconnect) keep the original
+      // fail-fast behavior; otherwise idempotent requests may redial.
+      if (!session_open_ ||
+          (options_.max_retries == 0 && !options_.auto_reconnect)) {
+        return std::string("not connected");
+      }
+      error = options_.auto_reconnect ? Reconnect() : Dial();
+    }
+    if (!error) error = op();
+    if (!error || !transport_failed_) return error;
+    if (attempt >= options_.max_retries) return error;
+    ++retries_;
+    NetMetrics::Get().client_retries.Add(1);
+    DropConnection();
+    SleepBackoff(attempt);
+  }
 }
 
 std::optional<std::string> Client::Query(item_t key, uint64_t* estimate) {
-  if (auto error = Send(EncodeQueryRequest(key))) return error;
-  Frame response;
-  if (auto error = ReadResponse(Opcode::kQuery, &response)) return error;
-  if (!ParseQueryResponse(response.payload, estimate)) {
-    return std::string("malformed QUERY response");
-  }
-  return std::nullopt;
+  return WithRetry([&]() -> std::optional<std::string> {
+    if (auto error = Send(EncodeQueryRequest(key))) return error;
+    Frame response;
+    if (auto error = ReadResponse(Opcode::kQuery, &response)) return error;
+    if (!ParseQueryResponse(response.payload, estimate)) {
+      transport_failed_ = true;
+      return std::string("malformed QUERY response");
+    }
+    return std::nullopt;
+  });
 }
 
 std::optional<std::string> Client::QueryBatch(
     std::span<const item_t> keys, std::vector<uint64_t>* estimates) {
-  if (auto error = Send(EncodeQueryBatchRequest(keys))) return error;
-  Frame response;
-  if (auto error = ReadResponse(Opcode::kQueryBatch, &response)) {
-    return error;
-  }
-  if (!ParseQueryBatchResponse(response.payload, estimates)) {
-    return std::string("malformed QUERY_BATCH response");
-  }
-  return std::nullopt;
+  return WithRetry([&]() -> std::optional<std::string> {
+    if (auto error = Send(EncodeQueryBatchRequest(keys))) return error;
+    Frame response;
+    if (auto error = ReadResponse(Opcode::kQueryBatch, &response)) {
+      return error;
+    }
+    if (!ParseQueryBatchResponse(response.payload, estimates)) {
+      transport_failed_ = true;
+      return std::string("malformed QUERY_BATCH response");
+    }
+    return std::nullopt;
+  });
 }
 
 std::optional<std::string> Client::TopK(uint32_t k,
                                         std::vector<TopKEntry>* entries) {
-  if (auto error = Send(EncodeTopKRequest(k))) return error;
-  Frame response;
-  if (auto error = ReadResponse(Opcode::kTopK, &response)) return error;
-  if (!ParseTopKResponse(response.payload, entries)) {
-    return std::string("malformed TOPK response");
-  }
-  return std::nullopt;
+  return WithRetry([&]() -> std::optional<std::string> {
+    if (auto error = Send(EncodeTopKRequest(k))) return error;
+    Frame response;
+    if (auto error = ReadResponse(Opcode::kTopK, &response)) return error;
+    if (!ParseTopKResponse(response.payload, entries)) {
+      transport_failed_ = true;
+      return std::string("malformed TOPK response");
+    }
+    return std::nullopt;
+  });
 }
 
 std::optional<std::string> Client::Stats(WireStats* stats) {
-  if (auto error = Send(EncodeStatsRequest())) return error;
-  Frame response;
-  if (auto error = ReadResponse(Opcode::kStats, &response)) return error;
-  if (!ParseStatsResponse(response.payload, stats)) {
-    return std::string("malformed STATS response");
-  }
-  return std::nullopt;
+  return WithRetry([&]() -> std::optional<std::string> {
+    if (auto error = Send(EncodeStatsRequest())) return error;
+    Frame response;
+    if (auto error = ReadResponse(Opcode::kStats, &response)) return error;
+    if (!ParseStatsResponse(response.payload, stats)) {
+      transport_failed_ = true;
+      return std::string("malformed STATS response");
+    }
+    return std::nullopt;
+  });
 }
 
 std::optional<std::string> Client::Snapshot(StateDigest* digest) {
+  // Deliberately not retried: every attempt cuts a checkpoint.
+  if (auto error = EnsureConnected()) return error;
   if (auto error = Send(EncodeSnapshotRequest())) return error;
   Frame response;
   if (auto error = ReadResponse(Opcode::kSnapshot, &response)) return error;
   if (!ParseStateDigestResponse(response.payload, digest)) {
+    transport_failed_ = true;
     return std::string("malformed SNAPSHOT response");
   }
   return std::nullopt;
 }
 
 std::optional<std::string> Client::Digest(StateDigest* digest) {
-  if (auto error = Send(EncodeDigestRequest())) return error;
-  Frame response;
-  if (auto error = ReadResponse(Opcode::kDigest, &response)) return error;
-  if (!ParseStateDigestResponse(response.payload, digest)) {
-    return std::string("malformed DIGEST response");
+  return WithRetry([&]() -> std::optional<std::string> {
+    if (auto error = Send(EncodeDigestRequest())) return error;
+    Frame response;
+    if (auto error = ReadResponse(Opcode::kDigest, &response)) return error;
+    if (!ParseStateDigestResponse(response.payload, digest)) {
+      transport_failed_ = true;
+      return std::string("malformed DIGEST response");
+    }
+    return std::nullopt;
+  });
+}
+
+std::optional<std::string> Client::WaitReady(int fd, short events,
+                                             uint32_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    int wait_ms = -1;
+    if (timeout_ms > 0) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now())
+              .count();
+      if (remaining <= 0) {
+        transport_failed_ = true;
+        NetMetrics::Get().deadline_expired.Add(1);
+        return std::string("I/O deadline exceeded");
+      }
+      wait_ms = static_cast<int>(remaining);
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int ready = SocketPoll(options_.io, &pfd, 1, wait_ms);
+    if (ready > 0) return std::nullopt;
+    if (ready < 0 && errno != EINTR && errno != EAGAIN) {
+      transport_failed_ = true;
+      return std::string("poll failed");
+    }
+    // ready == 0 (timeout tick) or EINTR: loop recomputes the budget.
   }
-  return std::nullopt;
 }
 
 std::optional<std::string> Client::Send(
     const std::vector<uint8_t>& frame) {
+  if (fd_ < 0) {
+    transport_failed_ = true;
+    return std::string("not connected");
+  }
+  const uint32_t timeout_ms = io_timeout_override_ms_ != 0
+                                  ? io_timeout_override_ms_
+                                  : options_.write_timeout_ms;
   size_t sent = 0;
   while (sent < frame.size()) {
-    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
-#ifdef MSG_NOSIGNAL
-                             MSG_NOSIGNAL
-#else
-                             0
-#endif
-    );
-    if (n <= 0) return std::string("send failed (connection lost)");
-    sent += static_cast<size_t>(n);
+    const ssize_t n = SocketSend(options_.io, fd_, frame.data() + sent,
+                                 frame.size() - sent, kSendFlags);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (auto error = WaitReady(fd_, POLLOUT, timeout_ms)) return error;
+      continue;
+    }
+    transport_failed_ = true;
+    return std::string("send failed (connection lost)");
   }
   return std::nullopt;
 }
 
 std::optional<std::string> Client::ReadResponse(Opcode expect, Frame* out) {
+  if (fd_ < 0) {
+    transport_failed_ = true;
+    return std::string("not connected");
+  }
+  const uint32_t timeout_ms = io_timeout_override_ms_ != 0
+                                  ? io_timeout_override_ms_
+                                  : options_.read_timeout_ms;
   uint8_t buffer[64 * 1024];
   for (;;) {
     if (auto frame = decoder_.Next()) {
       if (!frame->is_response()) {
+        transport_failed_ = true;
         return std::string("server sent a non-response frame");
       }
       if (frame->opcode == Opcode::kUpdate &&
           frame->status == NetStatus::kOk && expect != Opcode::kUpdate) {
         // A pipelined ack arriving ahead of the awaited response.
         if (!ParseUpdateAck(frame->payload, &last_ack_)) {
+          transport_failed_ = true;
           return std::string("malformed UPDATE ack");
         }
-        ++acks_received_;
+        ApplyAck();
         continue;
       }
       if (frame->status != NetStatus::kOk &&
           frame->status != NetStatus::kVersionMismatch) {
+        transport_failed_ = false;
         return std::string("server error (") +
                std::string(NetStatusName(frame->status)) + "): " +
                std::string(frame->payload.begin(), frame->payload.end());
       }
       if (frame->opcode != expect) {
+        transport_failed_ = true;
         return std::string("response opcode mismatch");
       }
       *out = std::move(*frame);
       return std::nullopt;
     }
     if (decoder_.corrupt()) {
+      transport_failed_ = true;
       return std::string("corrupt frame from server");
     }
-    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
-    if (n <= 0) return std::string("connection closed by server");
+    const ssize_t n =
+        SocketRecv(options_.io, fd_, buffer, sizeof(buffer), 0);
+    if (n == 0) {
+      transport_failed_ = true;
+      return std::string("connection closed by server");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (auto error = WaitReady(fd_, POLLIN, timeout_ms)) return error;
+        continue;
+      }
+      transport_failed_ = true;
+      return std::string("connection closed by server");
+    }
     decoder_.Feed(buffer, static_cast<size_t>(n));
+  }
+}
+
+void Client::ApplyAck() {
+  ++acks_received_;
+  while (!replay_.empty() &&
+         replay_.front().end_count <= last_ack_.received_tuples) {
+    replay_.pop_front();
   }
 }
 
@@ -238,9 +513,10 @@ std::optional<std::string> Client::AwaitAcks(uint32_t max_outstanding) {
     Frame ack;
     if (auto error = ReadResponse(Opcode::kUpdate, &ack)) return error;
     if (!ParseUpdateAck(ack.payload, &last_ack_)) {
+      transport_failed_ = true;
       return std::string("malformed UPDATE ack");
     }
-    ++acks_received_;
+    ApplyAck();
   }
   return std::nullopt;
 }
@@ -277,6 +553,20 @@ std::optional<std::string> Client::Snapshot(StateDigest*) {
 std::optional<std::string> Client::Digest(StateDigest*) {
   return std::string("unsupported platform");
 }
+std::optional<std::string> Client::Dial() {
+  return std::string("unsupported platform");
+}
+void Client::DropConnection() {}
+std::optional<std::string> Client::Reconnect() {
+  return std::string("unsupported platform");
+}
+std::optional<std::string> Client::ReplayPending() {
+  return std::string("unsupported platform");
+}
+std::optional<std::string> Client::EnsureConnected() {
+  return std::string("unsupported platform");
+}
+void Client::SleepBackoff(uint32_t) {}
 std::optional<std::string> Client::Send(const std::vector<uint8_t>&) {
   return std::string("unsupported platform");
 }
@@ -284,6 +574,10 @@ std::optional<std::string> Client::ReadResponse(Opcode, Frame*) {
   return std::string("unsupported platform");
 }
 std::optional<std::string> Client::AwaitAcks(uint32_t) {
+  return std::string("unsupported platform");
+}
+void Client::ApplyAck() {}
+std::optional<std::string> Client::WaitReady(int, short, uint32_t) {
   return std::string("unsupported platform");
 }
 

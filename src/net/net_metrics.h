@@ -30,6 +30,17 @@ struct NetMetrics {
   obs::Counter& lockless_reads;      ///< queries answered without shard.mu
   obs::Counter& seqlock_retries;     ///< filter snapshot reads re-run after
                                      ///< colliding with a writer section
+  obs::Counter& corrupt_streams;     ///< connections dropped for an
+                                     ///< undecodable frame stream
+  obs::Counter& idle_disconnects;    ///< connections closed by the server's
+                                     ///< per-connection idle deadline
+  obs::Counter& client_reconnects;   ///< successful client redial+replay
+  obs::Counter& client_retries;      ///< idempotent requests retried after
+                                     ///< a transport failure
+  obs::Counter& client_replayed_tuples;  ///< tuples re-sent from the
+                                         ///< unacked replay buffer
+  obs::Counter& deadline_expired;    ///< client I/O waits that hit their
+                                     ///< connect/read/write deadline
   obs::Gauge& connections;           ///< currently open connections
   obs::Gauge& degraded;              ///< 1 while any shard queue overflowed
   obs::Histogram& request_ns;        ///< wall time of one non-UPDATE request
@@ -50,6 +61,12 @@ struct NetMetrics {
           r.GetCounter("asketch_net_enqueue_waits_total"),
           r.GetCounter("asketch_net_lockless_reads_total"),
           r.GetCounter("asketch_net_seqlock_retries_total"),
+          r.GetCounter("asketch_net_corrupt_streams_total"),
+          r.GetCounter("asketch_net_idle_disconnects_total"),
+          r.GetCounter("asketch_net_client_reconnects_total"),
+          r.GetCounter("asketch_net_client_retries_total"),
+          r.GetCounter("asketch_net_client_replayed_tuples_total"),
+          r.GetCounter("asketch_net_deadline_expired_total"),
           r.GetGauge("asketch_net_connections"),
           r.GetGauge("asketch_net_degraded"),
           r.GetHistogram("asketch_net_request_ns"),

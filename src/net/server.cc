@@ -9,6 +9,7 @@
 #if defined(__unix__) || defined(__APPLE__)
 #define ASKETCH_NET_SUPPORTED 1
 #include <arpa/inet.h>
+#include <cerrno>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -35,18 +36,35 @@ Server::~Server() { Stop(); }
 
 namespace {
 
-bool SendAll(int fd, const std::vector<uint8_t>& data) {
+constexpr int kSendFlags =
+#ifdef MSG_NOSIGNAL
+    MSG_NOSIGNAL;
+#else
+    0;
+#endif
+
+bool SendAll(const SocketIoHooks& io, int fd,
+             const std::vector<uint8_t>& data) {
   size_t sent = 0;
   while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-#ifdef MSG_NOSIGNAL
-                             MSG_NOSIGNAL
-#else
-                             0
-#endif
-    );
-    if (n <= 0) return false;
-    sent += static_cast<size_t>(n);
+    const ssize_t n = SocketSend(io, fd, data.data() + sent,
+                                 data.size() - sent, kSendFlags);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      if (SocketPoll(io, &pfd, 1, 100) < 0 && errno != EINTR &&
+          errno != EAGAIN) {
+        return false;
+      }
+      continue;
+    }
+    return false;
   }
   return true;
 }
@@ -125,9 +143,9 @@ void Server::AcceptLoop() {
     if (client < 0) continue;
     if (open_connections_.load(std::memory_order_relaxed) >=
         options_.max_connections) {
-      SendAll(client, EncodeErrorResponse(Opcode::kHello,
-                                          NetStatus::kShuttingDown,
-                                          "connection limit reached"));
+      SendAll(options_.io, client,
+              EncodeErrorResponse(Opcode::kHello, NetStatus::kShuttingDown,
+                                  "connection limit reached"));
       ::close(client);
       continue;
     }
@@ -152,28 +170,77 @@ void Server::HandleConnection(int fd) {
   uint64_t received = 0;
   uint64_t shed = 0;
   std::vector<uint8_t> buffer(64 * 1024);
-  while (!stop_.load(std::memory_order_acquire)) {
-    pollfd pfd{};
-    pfd.fd = fd;
-    pfd.events = POLLIN;
-    const int ready = ::poll(&pfd, 1, 100);
-    if (ready < 0) return;
-    if (ready == 0) continue;
-    const ssize_t n = ::recv(fd, buffer.data(), buffer.size(), 0);
-    if (n <= 0) return;
-    decoder.Feed(buffer.data(), static_cast<size_t>(n));
+  auto last_activity = std::chrono::steady_clock::now();
+
+  // Feeds `n` fresh bytes and handles every complete frame now
+  // buffered. Returns false when the connection must close.
+  const auto consume = [&](size_t n) {
+    decoder.Feed(buffer.data(), n);
     while (auto frame = decoder.Next()) {
-      if (!HandleFrame(fd, *frame, hello_done, received, shed)) return;
+      if (!HandleFrame(fd, *frame, hello_done, received, shed)) {
+        return false;
+      }
     }
     if (decoder.corrupt()) {
       // A lying length prefix is unrecoverable mid-stream; tell the
       // client why, then drop the connection.
       NetMetrics::Get().frame_errors_total.Add(1);
-      SendAll(fd, EncodeErrorResponse(Opcode::kHello, NetStatus::kBadFrame,
-                                      "corrupt frame stream"));
+      NetMetrics::Get().corrupt_streams.Add(1);
+      SendAll(options_.io, fd,
+              EncodeErrorResponse(Opcode::kHello, NetStatus::kBadFrame,
+                                  "corrupt frame stream"));
+      return false;
+    }
+    return true;
+  };
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int ready = SocketPoll(options_.io, &pfd, 1, 100);
+    if (ready < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
       return;
     }
+    if (ready == 0) {
+      if (options_.idle_timeout_ms > 0 &&
+          std::chrono::steady_clock::now() - last_activity >
+              std::chrono::milliseconds(options_.idle_timeout_ms)) {
+        // Slow loris: a peer holding the slot without sending frames.
+        NetMetrics::Get().idle_disconnects.Add(1);
+        SendAll(options_.io, fd,
+                EncodeErrorResponse(Opcode::kHello,
+                                    NetStatus::kShuttingDown,
+                                    "idle deadline exceeded"));
+        return;
+      }
+      continue;
+    }
+    const ssize_t n =
+        SocketRecv(options_.io, fd, buffer.data(), buffer.size(), 0);
+    if (n == 0) return;
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return;
+    }
+    last_activity = std::chrono::steady_clock::now();
+    if (!consume(static_cast<size_t>(n))) return;
   }
+
+  // Graceful drain on Stop(): handle whatever complete frames the peer
+  // already put on the wire, then end with a clean EOF instead of an
+  // abrupt close, so a well-behaved client sees its final responses.
+  for (;;) {
+    const ssize_t n = SocketRecv(options_.io, fd, buffer.data(),
+                                 buffer.size(), MSG_DONTWAIT);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    if (!consume(static_cast<size_t>(n))) return;
+  }
+  ::shutdown(fd, SHUT_WR);
 }
 
 bool Server::HandleFrame(int fd, const Frame& frame, bool& hello_done,
@@ -182,7 +249,7 @@ bool Server::HandleFrame(int fd, const Frame& frame, bool& hello_done,
   metrics.frames_total.Add(1);
   const auto fail = [&](NetStatus status, std::string_view message) {
     metrics.frame_errors_total.Add(1);
-    SendAll(fd, EncodeErrorResponse(frame.opcode, status, message));
+    SendAll(options_.io, fd, EncodeErrorResponse(frame.opcode, status, message));
     return false;
   };
 
@@ -200,12 +267,12 @@ bool Server::HandleFrame(int fd, const Frame& frame, bool& hello_done,
                          hello.min_version, hello.max_version);
     if (!version.has_value()) {
       metrics.frame_errors_total.Add(1);
-      SendAll(fd, EncodeVersionMismatch(kProtocolVersionMin,
+      SendAll(options_.io, fd, EncodeVersionMismatch(kProtocolVersionMin,
                                         kProtocolVersionMax));
       return false;
     }
     hello_done = true;
-    return SendAll(fd, EncodeHelloResponse(
+    return SendAll(options_.io, fd, EncodeHelloResponse(
                            HelloResponse{*version, shards_.num_shards()}));
   }
 
@@ -223,7 +290,7 @@ bool Server::HandleFrame(int fd, const Frame& frame, bool& hello_done,
       metrics.update_batches.Add(1);
       metrics.update_tuples.Add(tuples.size());
       if (frame.want_ack()) {
-        return SendAll(fd, EncodeUpdateAck(UpdateAck{received, shed}));
+        return SendAll(options_.io, fd, EncodeUpdateAck(UpdateAck{received, shed}));
       }
       return true;
     }
@@ -236,7 +303,7 @@ bool Server::HandleFrame(int fd, const Frame& frame, bool& hello_done,
       }
       metrics.queries.Add(1);
       const bool ok =
-          SendAll(fd, EncodeQueryResponse(shards_.Estimate(key)));
+          SendAll(options_.io, fd, EncodeQueryResponse(shards_.Estimate(key)));
       metrics.request_ns.Record(static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - start)
@@ -253,7 +320,7 @@ bool Server::HandleFrame(int fd, const Frame& frame, bool& hello_done,
       std::vector<uint64_t> estimates;
       shards_.EstimateBatch(keys, &estimates);
       metrics.queries.Add(keys.size());
-      const bool ok = SendAll(fd, EncodeQueryBatchResponse(estimates));
+      const bool ok = SendAll(options_.io, fd, EncodeQueryBatchResponse(estimates));
       metrics.request_ns.Record(static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - start)
@@ -269,7 +336,7 @@ bool Server::HandleFrame(int fd, const Frame& frame, bool& hello_done,
       if (k == 0 || k > kMaxTopK) {
         return fail(NetStatus::kBadRequest, "k out of range");
       }
-      return SendAll(fd, EncodeTopKResponse(shards_.TopK(k)));
+      return SendAll(options_.io, fd, EncodeTopKResponse(shards_.TopK(k)));
     }
 
     case Opcode::kStats: {
@@ -277,7 +344,7 @@ bool Server::HandleFrame(int fd, const Frame& frame, bool& hello_done,
       if (store_ != nullptr) {
         stats.snapshot_generation = store_->LatestGeneration();
       }
-      return SendAll(fd, EncodeStatsResponse(stats));
+      return SendAll(options_.io, fd, EncodeStatsResponse(stats));
     }
 
     case Opcode::kSnapshot: {
@@ -288,8 +355,8 @@ bool Server::HandleFrame(int fd, const Frame& frame, bool& hello_done,
       if (auto error = Checkpoint(&digest)) {
         return fail(NetStatus::kSnapshotFailed, *error);
       }
-      return SendAll(
-          fd, EncodeStateDigestResponse(Opcode::kSnapshot, digest));
+      return SendAll(options_.io, fd,
+                     EncodeStateDigestResponse(Opcode::kSnapshot, digest));
     }
 
     case Opcode::kDigest: {
@@ -298,7 +365,7 @@ bool Server::HandleFrame(int fd, const Frame& frame, bool& hello_done,
       if (store_ != nullptr) {
         digest.generation = store_->LatestGeneration();
       }
-      return SendAll(fd,
+      return SendAll(options_.io, fd,
                      EncodeStateDigestResponse(Opcode::kDigest, digest));
     }
   }

@@ -32,6 +32,7 @@
 #include "src/common/snapshot.h"
 #include "src/net/protocol.h"
 #include "src/net/shard_set.h"
+#include "src/net/socket_io.h"
 
 namespace asketch {
 namespace net {
@@ -52,6 +53,13 @@ struct ServerOptions {
   /// Connections beyond this are accepted and immediately closed with a
   /// kShuttingDown error frame.
   uint32_t max_connections = 64;
+  /// Close a connection that has been silent (no bytes received) for
+  /// this long — the slow-loris defense. 0 disables the deadline.
+  /// Enforced at the connection loop's 100 ms poll granularity.
+  uint32_t idle_timeout_ms = 0;
+  /// Syscall seam for deterministic fault injection (tests only;
+  /// empty hooks dispatch straight to the real syscalls).
+  SocketIoHooks io{};
 };
 
 class Server {
@@ -66,8 +74,11 @@ class Server {
   /// (bind failure, unsupported platform, failed --recover).
   std::optional<std::string> Start();
 
-  /// Graceful shutdown: stop accepting, join connection and checkpoint
-  /// threads, drain the shards, cut a final checkpoint. Idempotent.
+  /// Graceful shutdown: stop accepting, drain each live connection
+  /// (already-buffered complete frames are still handled, then the
+  /// write side is shut down for a clean EOF), join connection and
+  /// checkpoint threads, drain the shards, cut a final checkpoint.
+  /// Idempotent.
   void Stop();
 
   /// Bound port (valid after a successful Start()).

@@ -1,0 +1,275 @@
+// Syscall seam + deterministic fault injection for the socket path.
+//
+// Every transport syscall in src/net/client.cc and src/net/server.cc is
+// routed through a SocketIoHooks so tests can interpose: short reads and
+// writes, EINTR, ECONNRESET, stalls, and byte corruption, armed at the
+// Nth call of each kind and fully determined by what was armed — the
+// socket twin of src/common/fault_injection.h's FaultInjectingIo. No
+// randomness lives here; tests that want fuzzed schedules draw offsets
+// from a seeded Rng and arm them explicitly, so every failure is
+// replayable from its seed.
+//
+// An empty (default) hook dispatches straight to the real syscall; the
+// production fast path pays one branch per call.
+
+#ifndef ASKETCH_NET_SOCKET_IO_H_
+#define ASKETCH_NET_SOCKET_IO_H_
+
+#include <cstdint>
+#include <functional>
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <cerrno>
+#include <chrono>
+#include <poll.h>
+#include <sys/socket.h>
+#include <thread>
+#include <vector>
+
+namespace asketch {
+namespace net {
+
+/// Interposition points for the four socket syscalls the net path
+/// issues after a socket exists. Empty functions mean "call the real
+/// syscall"; a hook that wants real behavior plus a fault calls the
+/// syscall itself.
+struct SocketIoHooks {
+  std::function<ssize_t(int fd, void* buf, size_t len, int flags)> recv;
+  std::function<ssize_t(int fd, const void* buf, size_t len, int flags)>
+      send;
+  std::function<int(pollfd* fds, nfds_t n, int timeout_ms)> poll;
+  std::function<int(int fd, const sockaddr* addr, socklen_t len)> connect;
+};
+
+inline ssize_t SocketRecv(const SocketIoHooks& io, int fd, void* buf,
+                          size_t len, int flags) {
+  if (io.recv) return io.recv(fd, buf, len, flags);
+  return ::recv(fd, buf, len, flags);
+}
+
+inline ssize_t SocketSend(const SocketIoHooks& io, int fd, const void* buf,
+                          size_t len, int flags) {
+  if (io.send) return io.send(fd, buf, len, flags);
+  return ::send(fd, buf, len, flags);
+}
+
+inline int SocketPoll(const SocketIoHooks& io, pollfd* fds, nfds_t n,
+                      int timeout_ms) {
+  if (io.poll) return io.poll(fds, n, timeout_ms);
+  return ::poll(fds, n, timeout_ms);
+}
+
+inline int SocketConnect(const SocketIoHooks& io, int fd,
+                         const sockaddr* addr, socklen_t len) {
+  if (io.connect) return io.connect(fd, addr, len);
+  return ::connect(fd, addr, len);
+}
+
+/// Fault-point shim producing SocketIoHooks bound to this object (which
+/// must outlive them). Calls of each kind are counted across the shim's
+/// lifetime, letting tests target "the Nth recv of the run". Thread
+/// safety matches FaultInjectingIo: arm everything before handing the
+/// hooks to the code under test; counters may then be read after the
+/// run. A single shim may serve both a Client and a Server in the same
+/// test, but the call indices are shared.
+class FaultInjectingSocket {
+ public:
+  FaultInjectingSocket() = default;
+
+  /// The `index`-th recv call (0-based) reads at most `max_bytes` — a
+  /// short read, as on a fragmented TCP stream.
+  void ArmShortRecvAt(uint64_t index, size_t max_bytes = 1) {
+    short_recvs_.push_back({index, max_bytes});
+  }
+
+  /// The `index`-th send call writes at most `max_bytes` (short write,
+  /// as on a full socket buffer).
+  void ArmShortSendAt(uint64_t index, size_t max_bytes = 1) {
+    short_sends_.push_back({index, max_bytes});
+  }
+
+  /// The `index`-th call of each kind fails with EINTR, the state a
+  /// checkpoint signal landing mid-syscall leaves behind.
+  void ArmRecvEintrAt(uint64_t index) { recv_eintr_.push_back(index); }
+  void ArmSendEintrAt(uint64_t index) { send_eintr_.push_back(index); }
+  void ArmPollEintrAt(uint64_t index) { poll_eintr_.push_back(index); }
+  void ArmConnectEintrAt(uint64_t index) {
+    connect_eintr_.push_back(index);
+  }
+
+  /// The `index`-th recv/send call fails with `error` (ECONNRESET by
+  /// default — the peer vanished).
+  void ArmRecvErrorAt(uint64_t index, int error = ECONNRESET) {
+    recv_error_at_ = index;
+    recv_errno_ = error;
+  }
+  void ArmSendErrorAt(uint64_t index, int error = ECONNRESET) {
+    send_error_at_ = index;
+    send_errno_ = error;
+  }
+
+  /// The `index`-th recv call stalls for `ms` before proceeding — a
+  /// peer that hangs mid-frame (drives deadline paths determinstically
+  /// when `ms` exceeds the armed deadline).
+  void ArmRecvStallAt(uint64_t index, uint32_t ms) {
+    recv_stall_at_ = index;
+    recv_stall_ms_ = ms;
+  }
+
+  /// Flips bit `bit` (0-7) of byte `byte_offset` within the buffer the
+  /// `index`-th recv call returns — corruption on the wire that frame
+  /// validation must catch.
+  void ArmRecvBitFlip(uint64_t index, uint64_t byte_offset, uint32_t bit) {
+    bit_flips_.push_back(BitFlip{index, byte_offset, bit});
+  }
+
+  uint64_t recvs_seen() const { return recvs_; }
+  uint64_t sends_seen() const { return sends_; }
+  uint64_t polls_seen() const { return polls_; }
+  uint64_t connects_seen() const { return connects_; }
+
+  SocketIoHooks Hooks() {
+    SocketIoHooks hooks;
+    hooks.recv = [this](int fd, void* buf, size_t len, int flags) {
+      return Recv(fd, buf, len, flags);
+    };
+    hooks.send = [this](int fd, const void* buf, size_t len, int flags) {
+      return Send(fd, buf, len, flags);
+    };
+    hooks.poll = [this](pollfd* fds, nfds_t n, int timeout_ms) {
+      return Poll(fds, n, timeout_ms);
+    };
+    hooks.connect = [this](int fd, const sockaddr* addr, socklen_t len) {
+      return Connect(fd, addr, len);
+    };
+    return hooks;
+  }
+
+ private:
+  struct ShortIo {
+    uint64_t index;
+    size_t max_bytes;
+  };
+  struct BitFlip {
+    uint64_t recv_index;
+    uint64_t byte_offset;
+    uint32_t bit;
+  };
+
+  static bool Contains(const std::vector<uint64_t>& v, uint64_t index) {
+    for (uint64_t x : v) {
+      if (x == index) return true;
+    }
+    return false;
+  }
+
+  ssize_t Recv(int fd, void* buf, size_t len, int flags) {
+    const uint64_t index = recvs_++;
+    if (Contains(recv_eintr_, index)) {
+      errno = EINTR;
+      return -1;
+    }
+    if (index == recv_error_at_) {
+      errno = recv_errno_;
+      return -1;
+    }
+    if (index == recv_stall_at_ && recv_stall_ms_ > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(recv_stall_ms_));
+    }
+    size_t want = len;
+    for (const ShortIo& s : short_recvs_) {
+      if (s.index == index && s.max_bytes < want) want = s.max_bytes;
+    }
+    const ssize_t n = ::recv(fd, buf, want, flags);
+    if (n > 0) {
+      for (const BitFlip& flip : bit_flips_) {
+        if (flip.recv_index == index &&
+            flip.byte_offset < static_cast<uint64_t>(n)) {
+          static_cast<uint8_t*>(buf)[flip.byte_offset] ^=
+              static_cast<uint8_t>(1u << (flip.bit & 7u));
+        }
+      }
+    }
+    return n;
+  }
+
+  ssize_t Send(int fd, const void* buf, size_t len, int flags) {
+    const uint64_t index = sends_++;
+    if (Contains(send_eintr_, index)) {
+      errno = EINTR;
+      return -1;
+    }
+    if (index == send_error_at_) {
+      errno = send_errno_;
+      return -1;
+    }
+    size_t want = len;
+    for (const ShortIo& s : short_sends_) {
+      if (s.index == index && s.max_bytes < want) want = s.max_bytes;
+    }
+    return ::send(fd, buf, want, flags);
+  }
+
+  int Poll(pollfd* fds, nfds_t n, int timeout_ms) {
+    const uint64_t index = polls_++;
+    if (Contains(poll_eintr_, index)) {
+      errno = EINTR;
+      return -1;
+    }
+    return ::poll(fds, n, timeout_ms);
+  }
+
+  int Connect(int fd, const sockaddr* addr, socklen_t len) {
+    const uint64_t index = connects_++;
+    if (Contains(connect_eintr_, index)) {
+      // POSIX: EINTR on connect leaves the attempt in progress, so the
+      // emulation must actually start it before reporting the
+      // interruption (callers then wait for POLLOUT like EINPROGRESS).
+      (void)::connect(fd, addr, len);
+      errno = EINTR;
+      return -1;
+    }
+    return ::connect(fd, addr, len);
+  }
+
+  static constexpr uint64_t kNever = ~uint64_t{0};
+
+  uint64_t recvs_ = 0;
+  uint64_t sends_ = 0;
+  uint64_t polls_ = 0;
+  uint64_t connects_ = 0;
+  std::vector<ShortIo> short_recvs_;
+  std::vector<ShortIo> short_sends_;
+  std::vector<uint64_t> recv_eintr_;
+  std::vector<uint64_t> send_eintr_;
+  std::vector<uint64_t> poll_eintr_;
+  std::vector<uint64_t> connect_eintr_;
+  uint64_t recv_error_at_ = kNever;
+  uint64_t send_error_at_ = kNever;
+  int recv_errno_ = ECONNRESET;
+  int send_errno_ = ECONNRESET;
+  uint64_t recv_stall_at_ = kNever;
+  uint32_t recv_stall_ms_ = 0;
+  std::vector<BitFlip> bit_flips_;
+};
+
+}  // namespace net
+}  // namespace asketch
+
+#else  // !(__unix__ || __APPLE__)
+
+namespace asketch {
+namespace net {
+
+/// Stub keeping ClientOptions/ServerOptions well-formed on platforms
+/// without the POSIX socket API (the net path itself is stubbed there).
+struct SocketIoHooks {};
+
+}  // namespace net
+}  // namespace asketch
+
+#endif
+
+#endif  // ASKETCH_NET_SOCKET_IO_H_

@@ -1,0 +1,313 @@
+// asketch_chaosproxy — fault-injecting TCP proxy for chaos smokes
+// (docs/OPERATIONS.md "Failure modes").
+//
+//   asketch_chaosproxy --upstream-port U [--listen-port P] [--host H]
+//                      [--seed S] [--delay-every N] [--delay-ms M]
+//                      [--reset-after-bytes B] [--truncate-after-bytes B]
+//                      [--fault-connections K] [--pause-file PATH]
+//
+// Sits between a client and asketchd on loopback and injects faults
+// into the byte stream according to a schedule that is fully
+// determined by the flags and --seed — rerunning with the same seed
+// replays the same schedule:
+//
+//   --delay-every N / --delay-ms M   before every Nth forwarded chunk,
+//       sleep a seeded pseudorandom 1..M ms (jitter/stall injection).
+//   --reset-after-bytes B   once a connection has relayed B bytes
+//       (both directions combined), abort it with a TCP RST
+//       (SO_LINGER 0) — the mid-stream "peer vanished" fault.
+//   --truncate-after-bytes B   like reset, but a clean FIN after B
+//       bytes: frames get cut at an arbitrary byte boundary.
+//   --fault-connections K   only the first K connections (accept
+//       order) suffer reset/truncate; later ones run clean, so a
+//       reconnecting client eventually makes progress (default: all).
+//   --pause-file PATH   while PATH exists, forward nothing in either
+//       direction — the switch chaos smokes flip to freeze the
+//       client's ack horizon before checkpointing and killing the
+//       server.
+//
+// Announces "chaosproxy listening on 127.0.0.1:PORT" on stdout
+// (flushed) so scripts can scrape the port; runs until killed. Each
+// connection is relayed by one thread polling both sockets. When the
+// upstream dial fails the downstream socket is reset immediately —
+// exactly what a dead server behind the proxy should look like.
+//
+// Exit codes: 2 usage error, 1 runtime failure.
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <chrono>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#error "asketch_chaosproxy requires a POSIX socket API"
+#endif
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: asketch_chaosproxy --upstream-port U [--listen-port P]\n"
+      "                          [--host H] [--seed S]\n"
+      "                          [--delay-every N] [--delay-ms M]\n"
+      "                          [--reset-after-bytes B]\n"
+      "                          [--truncate-after-bytes B]\n"
+      "                          [--fault-connections K]\n"
+      "                          [--pause-file PATH]\n");
+  return 2;
+}
+
+/// Strict decimal parse; false on empty/trailing-garbage/overflow input.
+bool ParseU64(const char* text, uint64_t* out) {
+  if (text == nullptr || *text == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+struct ProxyConfig {
+  std::string host = "127.0.0.1";
+  uint16_t listen_port = 0;
+  uint16_t upstream_port = 0;
+  uint64_t seed = 1;
+  uint64_t delay_every = 0;      ///< 0 = no delays
+  uint64_t delay_ms = 5;
+  uint64_t reset_after = 0;      ///< bytes; 0 = never
+  uint64_t truncate_after = 0;   ///< bytes; 0 = never
+  uint64_t fault_connections = ~uint64_t{0};
+  std::string pause_file;
+};
+
+/// splitmix64 — the deterministic per-connection jitter source.
+uint64_t NextRand(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+bool PauseActive(const ProxyConfig& config) {
+  return !config.pause_file.empty() &&
+         ::access(config.pause_file.c_str(), F_OK) == 0;
+}
+
+/// Abort `fd` with an RST instead of a FIN.
+void ResetSocket(int fd) {
+  linger hard{};
+  hard.l_onoff = 1;
+  hard.l_linger = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+  ::close(fd);
+}
+
+int DialUpstream(const ProxyConfig& config) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config.upstream_port);
+  if (::inet_pton(AF_INET, config.host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool ForwardAll(int fd, const uint8_t* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+/// Relays one downstream<->upstream pair until either side closes or a
+/// scheduled fault fires. `index` is the accept-order connection index.
+void RelayConnection(const ProxyConfig& config, int down, int up,
+                     uint64_t index) {
+  const bool faultable = index < config.fault_connections;
+  uint64_t rng = config.seed * 0x2545f4914f6cdd1dull + index + 1;
+  uint64_t relayed = 0;
+  uint64_t chunks = 0;
+  std::vector<uint8_t> buffer(64 * 1024);
+  for (;;) {
+    if (PauseActive(config)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      continue;
+    }
+    pollfd pfds[2] = {};
+    pfds[0].fd = down;
+    pfds[0].events = POLLIN;
+    pfds[1].fd = up;
+    pfds[1].events = POLLIN;
+    const int ready = ::poll(pfds, 2, 100);
+    if (ready < 0 && errno != EINTR && errno != EAGAIN) break;
+    if (ready <= 0) continue;
+    bool closed = false;
+    for (int side = 0; side < 2 && !closed; ++side) {
+      if ((pfds[side].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+        continue;
+      }
+      const int from = side == 0 ? down : up;
+      const int to = side == 0 ? up : down;
+      const ssize_t n = ::recv(from, buffer.data(), buffer.size(), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        closed = true;
+        break;
+      }
+      ++chunks;
+      if (config.delay_every > 0 && chunks % config.delay_every == 0) {
+        const uint64_t ms =
+            config.delay_ms > 0 ? 1 + NextRand(&rng) % config.delay_ms : 0;
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      }
+      size_t to_forward = static_cast<size_t>(n);
+      bool truncate = false;
+      if (faultable && config.truncate_after > 0 &&
+          relayed + to_forward >= config.truncate_after) {
+        to_forward = static_cast<size_t>(config.truncate_after - relayed);
+        truncate = true;
+      }
+      if (faultable && config.reset_after > 0 &&
+          relayed + to_forward >= config.reset_after) {
+        // RST both sides mid-frame: the harshest mid-stream fault.
+        ResetSocket(down);
+        ResetSocket(up);
+        return;
+      }
+      if (!ForwardAll(to, buffer.data(), to_forward)) {
+        closed = true;
+        break;
+      }
+      relayed += to_forward;
+      if (truncate) {
+        closed = true;
+        break;
+      }
+    }
+    if (closed) break;
+  }
+  ::close(down);
+  ::close(up);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ProxyConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    uint64_t n = 0;
+    if (arg == "--listen-port") {
+      if (!ParseU64(value(), &n) || n > 65535) return Usage();
+      config.listen_port = static_cast<uint16_t>(n);
+    } else if (arg == "--upstream-port") {
+      if (!ParseU64(value(), &n) || n == 0 || n > 65535) return Usage();
+      config.upstream_port = static_cast<uint16_t>(n);
+    } else if (arg == "--host") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      config.host = v;
+    } else if (arg == "--seed") {
+      if (!ParseU64(value(), &config.seed)) return Usage();
+    } else if (arg == "--delay-every") {
+      if (!ParseU64(value(), &config.delay_every)) return Usage();
+    } else if (arg == "--delay-ms") {
+      if (!ParseU64(value(), &config.delay_ms)) return Usage();
+    } else if (arg == "--reset-after-bytes") {
+      if (!ParseU64(value(), &config.reset_after)) return Usage();
+    } else if (arg == "--truncate-after-bytes") {
+      if (!ParseU64(value(), &config.truncate_after)) return Usage();
+    } else if (arg == "--fault-connections") {
+      if (!ParseU64(value(), &config.fault_connections)) return Usage();
+    } else if (arg == "--pause-file") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      config.pause_file = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (config.upstream_port == 0) return Usage();
+
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::fprintf(stderr, "chaosproxy: socket() failed\n");
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config.listen_port);
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd, 64) != 0) {
+    std::fprintf(stderr, "chaosproxy: bind/listen failed on port %u\n",
+                 config.listen_port);
+    return 1;
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  std::printf("chaosproxy listening on 127.0.0.1:%u -> %s:%u\n",
+              ntohs(addr.sin_port), config.host.c_str(),
+              config.upstream_port);
+  std::fflush(stdout);
+
+  uint64_t index = 0;
+  for (;;) {
+    const int down = ::accept(listen_fd, nullptr, nullptr);
+    if (down < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    ::setsockopt(down, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const int up = DialUpstream(config);
+    if (up < 0) {
+      // Dead upstream: make it look like a dead server, not a proxy.
+      ResetSocket(down);
+      continue;
+    }
+    std::thread(RelayConnection, config, down, up, index++).detach();
+  }
+  ::close(listen_fd);
+  return 0;
+}

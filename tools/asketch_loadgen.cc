@@ -4,13 +4,24 @@
 //   asketch_loadgen --port P [--host H] [--connections C] [--tuples N]
 //                   [--keys M] [--skew Z] [--seed S] [--batch B]
 //                   [--ack-every A] [--window W] [--mode closed|open]
-//                   [--rate R] [--verify]
+//                   [--rate R] [--verify] [--connect-timeout-ms T]
+//                   [--io-timeout-ms T] [--retries R] [--backoff-ms B]
+//                   [--reconnect] [--deadline-s D]
 //       Drive UPDATE traffic and report aggregate updates/s. Closed
 //       loop (default) sends as fast as the ack window allows; open
 //       loop paces batches to --rate updates/s total across all
 //       connections and reports the achieved rate. --verify issues a
 //       QUERY_BATCH sample afterwards and checks every estimate >= the
 //       exact sent count (the one-sided guarantee, over the wire).
+//
+//       Resilience (all off by default): --connect-timeout-ms /
+//       --io-timeout-ms arm the client deadlines, --retries/--backoff-ms
+//       the idempotent-request retry policy, and --reconnect the
+//       redial + replay-from-last-ack path (at-least-once delivery; the
+//       one-sided bound tolerates the duplicates). --deadline-s bounds
+//       the whole load phase by wall clock — with the I/O deadlines
+//       armed no call can block forever, so a hung server fails the run
+//       instead of wedging it (CI smokes rely on this).
 //
 //   asketch_loadgen --port P --snapshot
 //       Request a checkpoint; print its generation/ingested/digest.
@@ -28,6 +39,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -51,6 +63,9 @@ int Usage() {
       "                       [--seed S] [--batch B] [--ack-every A]\n"
       "                       [--window W] [--mode closed|open]\n"
       "                       [--rate R] [--verify]\n"
+      "                       [--connect-timeout-ms T] [--io-timeout-ms T]\n"
+      "                       [--retries R] [--backoff-ms B] [--reconnect]\n"
+      "                       [--deadline-s D]\n"
       "       asketch_loadgen --port P --snapshot\n"
       "       asketch_loadgen --port P --probe\n");
   return 2;
@@ -88,17 +103,24 @@ struct LoadgenConfig {
   bool open_loop = false;
   uint64_t rate = 0;  ///< open loop: target updates/s across connections
   bool verify = false;
+  uint64_t deadline_s = 0;  ///< wall-clock bound on the load phase
 };
 
 struct WorkerResult {
   uint64_t sent = 0;
   uint64_t shed = 0;
+  uint64_t reconnects = 0;
+  uint64_t retries = 0;
+  uint64_t replayed = 0;
   std::string error;
 };
 
 void RunWorker(const LoadgenConfig& config,
                const std::vector<Tuple>& tuples, size_t begin, size_t end,
                WorkerResult* result) {
+  const auto wall_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::seconds(config.deadline_s);
   net::Client client;
   if (auto error = client.Connect(config.client)) {
     result->error = *error;
@@ -115,6 +137,11 @@ void RunWorker(const LoadgenConfig& config,
   uint64_t sent = 0;
   for (size_t offset = begin; offset < end;
        offset += config.batch) {
+    if (config.deadline_s > 0 &&
+        std::chrono::steady_clock::now() > wall_deadline) {
+      result->error = "wall-clock deadline exceeded (--deadline-s)";
+      return;
+    }
     const size_t n = std::min<size_t>(config.batch, end - offset);
     if (auto error = client.Update(
             std::span<const Tuple>(tuples.data() + offset, n))) {
@@ -137,6 +164,9 @@ void RunWorker(const LoadgenConfig& config,
   }
   result->sent = sent;
   result->shed = client.last_ack().shed_weight;
+  result->reconnects = client.reconnects();
+  result->retries = client.retries();
+  result->replayed = client.replayed_tuples();
 }
 
 int RunSnapshotOp(const net::ClientOptions& options) {
@@ -295,6 +325,26 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--rate") {
       if (!ParseU64(value(), &config.rate)) return Usage();
+    } else if (arg == "--connect-timeout-ms") {
+      if (!ParseU64(value(), &n) || n > UINT32_MAX) return Usage();
+      config.client.connect_timeout_ms = static_cast<uint32_t>(n);
+    } else if (arg == "--io-timeout-ms") {
+      if (!ParseU64(value(), &n) || n > UINT32_MAX) return Usage();
+      config.client.read_timeout_ms = static_cast<uint32_t>(n);
+      config.client.write_timeout_ms = static_cast<uint32_t>(n);
+    } else if (arg == "--retries") {
+      if (!ParseU64(value(), &n) || n > UINT32_MAX) return Usage();
+      config.client.max_retries = static_cast<uint32_t>(n);
+    } else if (arg == "--backoff-ms") {
+      if (!ParseU64(value(), &n) || n > UINT32_MAX) return Usage();
+      config.client.retry_backoff_ms = static_cast<uint32_t>(n);
+    } else if (arg == "--reconnect") {
+      config.client.auto_reconnect = true;
+    } else if (arg == "--deadline-s") {
+      if (!ParseU64(value(), &config.deadline_s) ||
+          config.deadline_s < 1) {
+        return Usage();
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return Usage();
@@ -336,6 +386,9 @@ int main(int argc, char** argv) {
 
   uint64_t sent = 0;
   uint64_t shed = 0;
+  uint64_t reconnects = 0;
+  uint64_t retries = 0;
+  uint64_t replayed = 0;
   for (const WorkerResult& r : results) {
     if (!r.error.empty()) {
       std::fprintf(stderr, "loadgen: %s\n", r.error.c_str());
@@ -343,6 +396,9 @@ int main(int argc, char** argv) {
     }
     sent += r.sent;
     shed += r.shed;
+    reconnects += r.reconnects;
+    retries += r.retries;
+    replayed += r.replayed;
   }
   const double rate = elapsed > 0 ? static_cast<double>(sent) / elapsed : 0;
   std::printf(
@@ -356,6 +412,12 @@ int main(int argc, char** argv) {
   std::printf("elapsed_s=%.3f updates_per_s=%.0f sent=%llu shed=%llu\n",
               elapsed, rate, static_cast<unsigned long long>(sent),
               static_cast<unsigned long long>(shed));
+  if (config.client.auto_reconnect || config.client.max_retries > 0) {
+    std::printf("resilience reconnects=%llu retries=%llu replayed=%llu\n",
+                static_cast<unsigned long long>(reconnects),
+                static_cast<unsigned long long>(retries),
+                static_cast<unsigned long long>(replayed));
+  }
 
   net::Client stats_client;
   if (stats_client.Connect(config.client) == std::nullopt) {

@@ -6,6 +6,7 @@
 //            [--recover] [--checkpoint-interval-ms MS]
 //            [--metrics-port MP] [--queue-batches Q]
 //            [--overload inline|shed] [--max-connections C]
+//            [--idle-timeout-ms MS]
 //
 // Binds 127.0.0.1:P (0 = ephemeral) and announces the bound port on
 // stdout ("asketchd listening on 127.0.0.1:PORT ...", flushed) so
@@ -23,6 +24,7 @@
 
 #include <chrono>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -54,7 +56,7 @@ int Usage() {
       "                [--retain R] [--recover]\n"
       "                [--checkpoint-interval-ms MS] [--metrics-port MP]\n"
       "                [--queue-batches Q] [--overload inline|shed]\n"
-      "                [--max-connections C]\n"
+      "                [--max-connections C] [--idle-timeout-ms MS]\n"
       "\n"
       "  --port P            TCP port on 127.0.0.1 (default 0 = "
       "ephemeral)\n"
@@ -79,7 +81,9 @@ int Usage() {
       "  --queue-batches Q   bounded per-shard queue length (default "
       "64)\n"
       "  --overload POLICY   inline (default) or shed\n"
-      "  --max-connections C concurrent client limit (default 64)\n");
+      "  --max-connections C concurrent client limit (default 64)\n"
+      "  --idle-timeout-ms MS close connections silent this long\n"
+      "                      (default 0 = never; slow-loris defense)\n");
   return 2;
 }
 
@@ -170,6 +174,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-connections") {
       if (!ParseU64(value(), &n) || n < 1) return Usage();
       options.max_connections = static_cast<uint32_t>(n);
+    } else if (arg == "--idle-timeout-ms") {
+      if (!ParseU64(value(), &n) || n > UINT32_MAX) return Usage();
+      options.idle_timeout_ms = static_cast<uint32_t>(n);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return Usage();

@@ -48,13 +48,15 @@ usage_of() {
   "$1" --help 2>&1
   true
 }
-for tool in asketch_cli asketchd asketch_loadgen make_stream; do
+for tool in asketch_cli asketchd asketch_loadgen make_stream \
+            asketch_chaosproxy; do
   if [ ! -x "$BUILD_DIR/tools/$tool" ]; then
     echo "FAIL missing binary $BUILD_DIR/tools/$tool (build tools first)"
     exit 1
   fi
 done
-ALL_USAGE=$(for t in asketch_cli asketchd asketch_loadgen make_stream; do
+ALL_USAGE=$(for t in asketch_cli asketchd asketch_loadgen make_stream \
+                     asketch_chaosproxy; do
               usage_of "$BUILD_DIR/tools/$t"
             done)
 CLI_USAGE=$(usage_of "$BUILD_DIR/tools/asketch_cli")
