@@ -1,0 +1,160 @@
+// Delta-merge ingest vs queued per-tuple ingest (the PR 9 tentpole):
+// decode threads feeding the 4-shard loopback ShardSet either push raw
+// tuple batches onto the shard queues (--ingest-mode queue, the
+// pre-delta architecture) or accumulate private DeltaBatches that the
+// shard owners fold in at epoch boundaries (--ingest-mode delta).
+//
+// What the delta path removes from the per-tuple cost: the SIMD filter
+// probe + seqlock write section + exchange bookkeeping every tuple pays
+// inside ASketch::UpdateBatch becomes, for head-resident keys (~90% of
+// a zipf-1.5 stream's mass), one open-addressed probe into a private
+// 16-entry table; and the queue mutex/condvar handshake per sub-batch
+// becomes one handoff per delta_flush_tuples epoch. The owner pays one
+// dense sketch merge per epoch, amortized across the epoch's tuples.
+//
+// Reported per (mode, decode threads): sustained updates/s, plus a
+// delta/queue speedup row per thread count. The acceptance bar is
+// >= 1.5x at 8 decode threads (ISSUE 9); on a single-core host the win
+// is pure hot-path economy, on SMP hosts delta additionally scales past
+// the single-writer ceiling because decode work runs truly in parallel.
+//
+// ASKETCH_BENCH_SCALE scales the stream. Flags:
+//   --mode queue|delta|both   (default both: prints the speedup rows)
+//   --threads N               bench only N decode threads (default
+//                             sweep 1,2,4,8)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common/bench_util.h"
+#include "src/common/stopwatch.h"
+#include "src/net/shard_set.h"
+
+namespace asketch {
+namespace bench {
+namespace {
+
+using net::DeltaIngestState;
+using net::IngestMode;
+using net::ShardSet;
+using net::ShardSetOptions;
+
+constexpr size_t kIngestBatch = 8192;  // one UPDATE frame's worth
+
+uint32_t g_flush_tuples = 0;  // 0 = ShardSetOptions default
+
+ShardSetOptions LoopbackOptions(IngestMode mode) {
+  ShardSetOptions options;  // 4 shards — asketchd's default topology
+  options.ingest_mode = mode;
+  if (g_flush_tuples > 0) options.delta_flush_tuples = g_flush_tuples;
+  return options;
+}
+
+void IngestPass(ShardSet& shards, IngestMode mode, uint32_t threads,
+                const std::vector<Tuple>& stream) {
+  const size_t per_thread = stream.size() / threads;
+  std::vector<std::thread> decoders;
+  decoders.reserve(threads);
+  for (uint32_t t = 0; t < threads; ++t) {
+    const size_t begin = t * per_thread;
+    const size_t end =
+        t + 1 == threads ? stream.size() : begin + per_thread;
+    decoders.emplace_back([&shards, &stream, mode, begin, end] {
+      DeltaIngestState state = shards.MakeDeltaState();
+      DeltaIngestState* state_ptr =
+          mode == IngestMode::kDelta ? &state : nullptr;
+      for (size_t at = begin; at < end; at += kIngestBatch) {
+        const size_t count = std::min(kIngestBatch, end - at);
+        shards.Ingest(std::span<const Tuple>(stream.data() + at, count),
+                      state_ptr);
+      }
+      if (state_ptr != nullptr) shards.FlushDeltas(state);
+    });
+  }
+  for (std::thread& t : decoders) t.join();
+  shards.Drain();
+}
+
+/// Runs one (mode, threads) configuration and returns steady-state
+/// updates/s: an untimed pass first warms the shard filters (both modes
+/// get the identical warm-up, through their own ingest path), then the
+/// best of three timed passes — each measured to full visibility (all
+/// deltas flushed, all queues drained) — is reported, which filters the
+/// scheduler noise of shared hosts out of the comparison.
+double RunOnce(IngestMode mode, uint32_t threads,
+               const std::vector<Tuple>& stream) {
+  ShardSet shards(LoopbackOptions(mode));
+  IngestPass(shards, mode, threads, stream);  // warm-up, untimed
+  double best = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    Stopwatch watch;
+    IngestPass(shards, mode, threads, stream);
+    best = std::max(best,
+                    static_cast<double>(stream.size()) /
+                        watch.ElapsedSeconds());
+  }
+  return best;
+}
+
+int Main(int argc, char** argv) {
+  const char* mode_arg = "both";
+  uint32_t only_threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--mode") == 0 && i + 1 < argc) {
+      mode_arg = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      only_threads = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--flush-tuples") == 0 && i + 1 < argc) {
+      g_flush_tuples = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_delta_ingest [--mode queue|delta|both] "
+                   "[--threads N]\n");
+      return 2;
+    }
+  }
+  const bool run_queue = std::strcmp(mode_arg, "delta") != 0;
+  const bool run_delta = std::strcmp(mode_arg, "queue") != 0;
+  if (!run_queue && !run_delta) {
+    std::fprintf(stderr, "bad --mode %s\n", mode_arg);
+    return 2;
+  }
+
+  const double scale = ScaleFromEnv();
+  const StreamSpec spec = SyntheticSpec(/*skew=*/1.5, scale);
+  std::printf("# bench_delta_ingest: %s, 4 shards, batch %zu\n",
+              spec.ToString().c_str(), kIngestBatch);
+  const std::vector<Tuple> stream = GenerateStream(spec);
+
+  std::vector<uint32_t> thread_counts = {1, 2, 4, 8};
+  if (only_threads > 0) thread_counts = {only_threads};
+  std::printf("%-8s %8s %14s\n", "mode", "threads", "updates/s");
+  for (const uint32_t threads : thread_counts) {
+    double queue_rate = 0;
+    double delta_rate = 0;
+    if (run_queue) {
+      queue_rate = RunOnce(IngestMode::kQueue, threads, stream);
+      std::printf("%-8s %8u %14.0f\n", "queue", threads, queue_rate);
+    }
+    if (run_delta) {
+      delta_rate = RunOnce(IngestMode::kDelta, threads, stream);
+      std::printf("%-8s %8u %14.0f\n", "delta", threads, delta_rate);
+    }
+    if (run_queue && run_delta && queue_rate > 0) {
+      std::printf("speedup_delta_vs_queue_%ut=%.2f\n", threads,
+                  delta_rate / queue_rate);
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace asketch
+
+int main(int argc, char** argv) { return asketch::bench::Main(argc, argv); }

@@ -51,9 +51,17 @@ for bin in "$BUILD_DIR"/bench/bench_*; do
   seconds=$(awk "BEGIN{printf \"%.3f\", ($end_ns - $start_ns) / 1e9}")
   cat "$OUT_DIR/$name.txt" >> "$SUMMARY"
   printf '\n' >> "$SUMMARY"
+  # Benches that print machine-readable `key=value` lines (e.g.
+  # bench_delta_ingest's speedup_delta_vs_queue_8t=2.24 rows) get them
+  # lifted into a "metrics" object so dashboards can read the numbers
+  # without parsing the raw output.
+  metrics=$(grep -ohE '^[a-z][a-z0-9_]*=[0-9.]+$' "$OUT_DIR/$name.txt" \
+              | awk -F= 'BEGIN{ORS=""; sep=""}
+                         {printf "%s\"%s\":%s", sep, $1, $2; sep=","}')
   {
     printf '{"name":"%s","scale":"%s","exit_code":%d,"seconds":%s,' \
            "$name" "$SCALE" "$status" "$seconds"
+    printf '"metrics":{%s},' "$metrics"
     printf '"output":"'
     json_escape_file "$OUT_DIR/$name.txt"
     printf '"}\n'

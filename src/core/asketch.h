@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/core/delta_batch.h"
 #include "src/obs/core_metrics.h"
 #include "src/obs/trace.h"
 #include "src/common/serialize.h"
@@ -404,6 +405,122 @@ class ASketch {
     return std::nullopt;
   }
 
+  /// Opens a delta epoch against this instance: a DeltaBatch whose head
+  /// snapshot is the filter's current membership (taken lock-free
+  /// through the seqlock, so decode threads may call this while the
+  /// owner is mid-merge) and whose tail is a fresh sketch built from
+  /// this sketch's config — the CompatibleWith precondition ApplyDelta's
+  /// MergeFrom needs. The snapshot is advisory: ApplyDelta tolerates
+  /// any drift between it and the filter at merge time.
+  DeltaBatch<SketchT> MakeDeltaBatch() const
+      requires requires(const FilterT& f, const SketchT& s,
+                        std::vector<FilterEntry>* out) {
+        f.SnapshotEntries(out);
+        SketchT(s.config());
+      }
+  {
+    std::vector<FilterEntry> entries;
+    filter_.SnapshotEntries(&entries);
+    std::vector<item_t> keys;
+    keys.reserve(entries.size());
+    for (const FilterEntry& e : entries) keys.push_back(e.key);
+    return DeltaBatch<SketchT>(keys, SketchT(sketch_.config()),
+                               filter_.capacity());
+  }
+
+  /// Folds a decode thread's DeltaBatch into this instance — the owner
+  /// side of the delta-merge ingest model (ALGORITHMS.md §7). Caller
+  /// must hold the shard's writer role (same discipline as UpdateBatch).
+  ///
+  /// Order matters for the one-sided guarantee under head drift:
+  ///
+  ///   1. Merge the tail sketch FIRST. Every estimate taken below —
+  ///      exchange decisions in step 2, inflation in step 3 — then
+  ///      already includes the delta's tail mass, so no key's mass can
+  ///      be "in flight" when a decision about it is made.
+  ///   2. Head entries re-probe the live filter: still resident →
+  ///      exact AddToNewCount (the aggregation the head table exists
+  ///      for); not resident — evicted since the snapshot, or a
+  ///      first-touch claim that was never filter-resident — the
+  ///      aggregate flows through MissPositive: one sketch update
+  ///      carrying the key's whole epoch mass (cell sums identical to
+  ///      per-arrival updates under the plain CountMin policy,
+  ///      one-sided under SALSA), then the normal free-slot / exchange
+  ///      policy. The exact (new − old) slack survives either way.
+  ///   3. Inflation pass (the MergeFrom pass-3 law): every live filter
+  ///      entry that was NOT in the delta's head table may have
+  ///      absorbed tail mass into the sketch in step 1 while queries
+  ///      answer it exactly from the filter — raise new_count AND
+  ///      old_count by the delta tail's estimate. One-sided (estimate
+  ///      ≥ the key's true tail mass) and slack-preserving (both
+  ///      counters move together, so the eviction writeback never
+  ///      re-injects mass the sketch already holds). Head members
+  ///      (snapshot or claimed) are skipped: their tail mass is zero by
+  ///      construction — a key never splits between head and tail — and
+  ///      skipping them is what makes a stable-head delta apply
+  ///      bit-identical to serial CountMin ingest.
+  ///   4. Admission pass: the delta's Misra–Gries candidates (heavy
+  ///      tail keys) are offered to the filter under the normal policy
+  ///      — free slot, or one exchange when the sketch estimate beats
+  ///      the filter minimum. Because the candidate's mass already sits
+  ///      in sketch cells from step 1, an admitted key starts with
+  ///      new_count == old_count == estimate (zero exact slack), the
+  ///      same state a serial exchange would have produced. This pass
+  ///      is what lets a cold filter learn the hot set in delta mode;
+  ///      under a stable head every attempt loses the exchange test and
+  ///      the pass reads but never writes (bit-identity preserved).
+  ///
+  /// Returns an error (state of step 1 unapplied) on a sketch-geometry
+  /// mismatch; deltas from MakeDeltaBatch never mismatch.
+  std::optional<std::string> ApplyDelta(DeltaBatch<SketchT>& delta) {
+    if (delta.Empty()) return std::nullopt;
+    delta.FlushMisses();  // seal the tail before reading it
+    if (auto error = sketch_.MergeFrom(delta.tail())) return error;
+    stats_.sketch_weight += delta.tail_weight();
+    stats_.sketch_updates += delta.tail_updates();
+    ASKETCH_TELEMETRY_ONLY({
+      pending_.sketch_weight += delta.tail_weight();
+      pending_.sketch_updates += delta.tail_updates();
+    })
+    delta.ForEachHead([&](item_t key, uint64_t weight) {
+      // A uint64 aggregate cannot overflow delta_t in practice; clamp
+      // rather than wrap if a forged delta tries.
+      const delta_t d = static_cast<delta_t>(
+          std::min<uint64_t>(weight, 0x7fffffffffffffffull));
+      const int32_t slot = filter_.Find(key);
+      if (slot >= 0) {
+        filter_.AddToNewCount(slot, d);
+        stats_.filtered_weight += static_cast<wide_count_t>(d);
+        ASKETCH_TELEMETRY_ONLY(
+            pending_.filtered_weight += static_cast<uint64_t>(d);)
+      } else {
+        MissPositive(key, d);
+      }
+    });
+    if (delta.tail_weight() != 0) {
+      std::vector<FilterEntry> own_entries;
+      filter_.ForEach([&own_entries](const FilterEntry& e) {
+        own_entries.push_back(e);
+      });
+      for (const FilterEntry& e : own_entries) {
+        if (delta.HeadContains(e.key)) continue;
+        const count_t tail_estimate = delta.tail().Estimate(e.key);
+        if (tail_estimate == 0) continue;
+        const int32_t slot = filter_.Find(e.key);
+        if (slot < 0) continue;
+        filter_.SetCounts(
+            slot,
+            SaturatingAdd(filter_.NewCount(slot),
+                          static_cast<delta_t>(tail_estimate)),
+            SaturatingAdd(filter_.OldCount(slot),
+                          static_cast<delta_t>(tail_estimate)));
+      }
+      delta.ForEachCandidate(
+          [&](item_t key, count_t) { TryAdmitSketchResident(key); });
+    }
+    return std::nullopt;
+  }
+
   /// Whether AdoptFrom(other) can replace this instance's state without
   /// reallocating the buffers lock-free readers are scanning. Always
   /// true for component types without in-place adoption (AdoptFrom then
@@ -599,6 +716,38 @@ class ASketch {
       return true;
     }
     return false;
+  }
+
+  /// Admission attempt for a key whose mass ALREADY sits in the sketch
+  /// (ApplyDelta step 4): no sketch write happens here — the key enters
+  /// the filter with new_count == old_count == its current estimate, so
+  /// the eviction writeback later re-injects only post-admission exact
+  /// hits. Same free-slot / single-exchange policy as MissPositive.
+  void TryAdmitSketchResident(item_t key) {
+    if (filter_.Find(key) >= 0) return;  // already resident (e.g. step 2/4)
+    const count_t estimate = sketch_.Estimate(key);
+    if (estimate == 0) return;
+    if (!filter_.Full()) {
+      filter_.Insert(key, estimate, estimate);
+      return;
+    }
+    if (!enable_exchanges_) return;
+    if (estimate > filter_.MinNewCount()) {
+      FilterEntry victim;
+      if constexpr (requires(const FilterT& f) {
+                      { f.PeekMin() } -> std::same_as<FilterEntry>;
+                    }) {
+        victim = filter_.PeekMin();
+        WriteBackVictim(victim);
+        filter_.EvictMin();
+      } else {
+        victim = filter_.EvictMin();
+        WriteBackVictim(victim);
+      }
+      filter_.Insert(key, estimate, estimate);
+      ++stats_.exchanges;
+      ASKETCH_TELEMETRY_ONLY(++pending_.exchanges;)
+    }
   }
 
   /// Lines 10-12 of Algorithm 1: pushes an exchange victim's exact

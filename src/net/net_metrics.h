@@ -41,9 +41,14 @@ struct NetMetrics {
                                          ///< unacked replay buffer
   obs::Counter& deadline_expired;    ///< client I/O waits that hit their
                                      ///< connect/read/write deadline
+  obs::Counter& delta_merges;        ///< DeltaBatches folded in by shard
+                                     ///< owners (ASketch::ApplyDelta calls)
+  obs::Counter& delta_flushed_tuples;  ///< tuples handed to the owners
+                                       ///< inside flushed DeltaBatches
   obs::Gauge& connections;           ///< currently open connections
   obs::Gauge& degraded;              ///< 1 while any shard queue overflowed
   obs::Histogram& request_ns;        ///< wall time of one non-UPDATE request
+  obs::Histogram& delta_merge_ns;    ///< wall time of one delta fold
   obs::Gauge& queue_depth_idle;      ///< constant-0 shard="none" placeholder
 
   static NetMetrics& Get() {
@@ -67,9 +72,12 @@ struct NetMetrics {
           r.GetCounter("asketch_net_client_retries_total"),
           r.GetCounter("asketch_net_client_replayed_tuples_total"),
           r.GetCounter("asketch_net_deadline_expired_total"),
+          r.GetCounter("asketch_net_delta_merges_total"),
+          r.GetCounter("asketch_net_delta_flushed_tuples_total"),
           r.GetGauge("asketch_net_connections"),
           r.GetGauge("asketch_net_degraded"),
           r.GetHistogram("asketch_net_request_ns"),
+          r.GetHistogram("asketch_net_delta_merge_ns"),
           r.GetGauge("asketch_net_shard_queue_depth", "shard=\"none\"")};
     }();
     return *metrics;

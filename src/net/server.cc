@@ -169,6 +169,15 @@ void Server::HandleConnection(int fd) {
   bool hello_done = false;
   uint64_t received = 0;
   uint64_t shed = 0;
+  DeltaIngestState delta_state = shards_.MakeDeltaState();
+  // Whatever path closes the connection, its unflushed delta tuples
+  // reach the shard queues — an UPDATE acknowledged on this connection
+  // is never stranded in a dead accumulator. No-op in queue mode.
+  struct FlushOnExit {
+    ShardSet& shards;
+    DeltaIngestState& state;
+    ~FlushOnExit() { shards.FlushDeltas(state); }
+  } flush_on_exit{shards_, delta_state};
   std::vector<uint8_t> buffer(64 * 1024);
   auto last_activity = std::chrono::steady_clock::now();
 
@@ -177,7 +186,8 @@ void Server::HandleConnection(int fd) {
   const auto consume = [&](size_t n) {
     decoder.Feed(buffer.data(), n);
     while (auto frame = decoder.Next()) {
-      if (!HandleFrame(fd, *frame, hello_done, received, shed)) {
+      if (!HandleFrame(fd, *frame, hello_done, received, shed,
+                       delta_state)) {
         return false;
       }
     }
@@ -244,7 +254,8 @@ void Server::HandleConnection(int fd) {
 }
 
 bool Server::HandleFrame(int fd, const Frame& frame, bool& hello_done,
-                         uint64_t& received, uint64_t& shed) {
+                         uint64_t& received, uint64_t& shed,
+                         DeltaIngestState& delta_state) {
   NetMetrics& metrics = NetMetrics::Get();
   metrics.frames_total.Add(1);
   const auto fail = [&](NetStatus status, std::string_view message) {
@@ -286,7 +297,11 @@ bool Server::HandleFrame(int fd, const Frame& frame, bool& hello_done,
         return fail(NetStatus::kBadFrame, "malformed UPDATE");
       }
       received += tuples.size();
-      shed += shards_.Ingest(tuples);
+      // In delta mode the tuples are absorbed into this connection's
+      // private accumulator; the ack means "owned by the server", and
+      // the flush points below (plus connection teardown) bound how
+      // long they can stay invisible to queries.
+      shed += shards_.Ingest(tuples, &delta_state);
       metrics.update_batches.Add(1);
       metrics.update_tuples.Add(tuples.size());
       if (frame.want_ack()) {
@@ -340,6 +355,7 @@ bool Server::HandleFrame(int fd, const Frame& frame, bool& hello_done,
     }
 
     case Opcode::kStats: {
+      shed += shards_.FlushDeltas(delta_state);
       WireStats stats = shards_.GetStats();
       if (store_ != nullptr) {
         stats.snapshot_generation = store_->LatestGeneration();
@@ -348,6 +364,9 @@ bool Server::HandleFrame(int fd, const Frame& frame, bool& hello_done,
     }
 
     case Opcode::kSnapshot: {
+      // Flush before the barrier: the cut must reflect every tuple
+      // this connection sent, exactly as in queue mode.
+      shed += shards_.FlushDeltas(delta_state);
       if (store_ == nullptr) {
         return fail(NetStatus::kSnapshotFailed, "persistence disabled");
       }
@@ -360,6 +379,7 @@ bool Server::HandleFrame(int fd, const Frame& frame, bool& hello_done,
     }
 
     case Opcode::kDigest: {
+      shed += shards_.FlushDeltas(delta_state);
       StateDigest digest;
       shards_.SerializeState(&digest);
       if (store_ != nullptr) {
@@ -381,7 +401,8 @@ std::optional<std::string> Server::Start() {
 void Server::Stop() {}
 void Server::AcceptLoop() {}
 void Server::HandleConnection(int) {}
-bool Server::HandleFrame(int, const Frame&, bool&, uint64_t&, uint64_t&) {
+bool Server::HandleFrame(int, const Frame&, bool&, uint64_t&, uint64_t&,
+                         DeltaIngestState&) {
   return false;
 }
 

@@ -98,9 +98,14 @@ class Server {
   void AcceptLoop();
   void HandleConnection(int fd);
   /// Dispatches one decoded frame; returns false when the connection
-  /// must close. `hello_done`, `received`, `shed` are per-connection.
+  /// must close. `hello_done`, `received`, `shed` and `delta_state`
+  /// are per-connection; under --ingest-mode delta the connection
+  /// thread is the decode thread that owns the delta accumulator, and
+  /// STATS/SNAPSHOT/DIGEST flush it so those barriers cover every
+  /// tuple this connection has sent.
   bool HandleFrame(int fd, const Frame& frame, bool& hello_done,
-                   uint64_t& received, uint64_t& shed);
+                   uint64_t& received, uint64_t& shed,
+                   DeltaIngestState& delta_state);
   void CheckpointLoop();
 
   ServerOptions options_;

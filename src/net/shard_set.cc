@@ -30,10 +30,24 @@ AnyServingSketch MakeServingSketch(const ShardSetOptions& options) {
 
 }  // namespace
 
+uint64_t DeltaIngestState::PendingTuples() const {
+  uint64_t pending = 0;
+  for (const auto& slot : per_shard_) {
+    if (slot.has_value()) {
+      pending += std::visit(
+          [](const auto& d) { return d.tuple_count(); }, *slot);
+    }
+  }
+  return pending;
+}
+
 std::optional<std::string> ShardSetOptions::Validate() const {
   if (num_shards < 1) return std::string("num_shards must be >= 1");
   if (max_queue_batches < 1) {
     return std::string("max_queue_batches must be >= 1");
+  }
+  if (delta_flush_tuples < 1) {
+    return std::string("delta_flush_tuples must be >= 1");
   }
   return shard_config.Validate();
 }
@@ -78,7 +92,7 @@ ShardSet::~ShardSet() {
 
 void ShardSet::WorkerLoop(Shard& shard) {
   for (;;) {
-    std::vector<Tuple> batch;
+    WorkItem item;
     {
       std::unique_lock<std::mutex> lock(shard.queue_mu);
       shard.cv_pop.wait(lock, [&] {
@@ -90,20 +104,14 @@ void ShardSet::WorkerLoop(Shard& shard) {
         return stop || !stalled_.load(std::memory_order_acquire);
       });
       if (shard.queue.empty()) return;  // only reachable when stopping
-      batch = std::move(shard.queue.front());
+      item = std::move(shard.queue.front());
       shard.queue.pop_front();
       shard.busy = true;
       shard.cv_push.notify_one();
     }
     {
       std::lock_guard<std::mutex> guard(shard.mu);
-      std::visit([&](auto& sketch) { sketch.UpdateBatch(batch); },
-                 shard.sketch);
-      // Release: a reader that observes this boundary via
-      // AppliedTuples() is guaranteed to also observe the batch it
-      // accounts for (the concurrency tests' oracle bracketing).
-      shard.applied_tuples.fetch_add(batch.size(),
-                                     std::memory_order_release);
+      ApplyLocked(shard, item);
     }
     {
       std::lock_guard<std::mutex> lock(shard.queue_mu);
@@ -113,60 +121,184 @@ void ShardSet::WorkerLoop(Shard& shard) {
   }
 }
 
-uint64_t ShardSet::Ingest(std::span<const Tuple> tuples) {
+uint64_t ShardSet::ApplyLocked(Shard& shard, WorkItem& item) {
+  const uint64_t applied = std::visit(
+      [&](auto& work) -> uint64_t {
+        using W = std::decay_t<decltype(work)>;
+        if constexpr (std::is_same_v<W, std::vector<Tuple>>) {
+          std::visit([&](auto& sketch) { sketch.UpdateBatch(work); },
+                     shard.sketch);
+          return work.size();
+        } else {
+          // A delta folds into the matching backend alternative — the
+          // state it came from was built against this very shard.
+          using SketchT = std::decay_t<decltype(work.tail())>;
+          auto& sketch =
+              std::get<ASketch<RelaxedHeapFilter, SketchT>>(shard.sketch);
+          NetMetrics& metrics = NetMetrics::Get();
+          const auto start = std::chrono::steady_clock::now();
+          const auto error = sketch.ApplyDelta(work);
+          ASKETCH_CHECK(!error.has_value());
+          metrics.delta_merge_ns.Record(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count()));
+          metrics.delta_merges.Add(1);
+          return work.tuple_count();
+        }
+      },
+      item);
+  // Release: a reader that observes this boundary via AppliedTuples()
+  // is guaranteed to also observe the work it accounts for (the
+  // concurrency tests' oracle bracketing).
+  shard.applied_tuples.fetch_add(applied, std::memory_order_release);
+  return applied;
+}
+
+uint64_t ShardSet::Submit(Shard& shard, WorkItem item) {
+  NetMetrics& metrics = NetMetrics::Get();
+  bool enqueued = false;
+  {
+    std::unique_lock<std::mutex> lock(shard.queue_mu);
+    if (shard.queue.size() >= options_.max_queue_batches) {
+      metrics.enqueue_waits.Add(1);
+      shard.cv_push.wait_for(
+          lock, std::chrono::milliseconds(options_.max_enqueue_wait_ms),
+          [&] {
+            return shard.queue.size() < options_.max_queue_batches ||
+                   stop_.load(std::memory_order_acquire);
+          });
+    }
+    if (shard.queue.size() < options_.max_queue_batches &&
+        !stop_.load(std::memory_order_acquire)) {
+      shard.queue.push_back(std::move(item));
+      shard.cv_pop.notify_one();
+      enqueued = true;
+    }
+  }
+  if (enqueued) return 0;
+  // Bounded wait exhausted: degrade. Sticky gauge — an operator seeing
+  // asketch_net_degraded == 1 knows at least one queue overflowed
+  // since startup (the *_total counters say how much).
+  metrics.degraded.Set(1);
+  if (options_.overload == OverloadPolicy::kInlineApply) {
+    std::lock_guard<std::mutex> guard(shard.mu);
+    const uint64_t applied = ApplyLocked(shard, item);
+    inline_applied_.fetch_add(applied, std::memory_order_relaxed);
+    metrics.inline_applied.Add(applied);
+    return 0;
+  }
+  const uint64_t weight = std::visit(
+      [](const auto& work) -> uint64_t {
+        using W = std::decay_t<decltype(work)>;
+        if constexpr (std::is_same_v<W, std::vector<Tuple>>) {
+          return BatchWeight(work);
+        } else {
+          return work.head_weight() + work.tail_weight();
+        }
+      },
+      item);
+  shed_weight_.fetch_add(weight, std::memory_order_relaxed);
+  metrics.shed_weight.Add(weight);
+  return weight;
+}
+
+uint64_t ShardSet::Ingest(std::span<const Tuple> tuples,
+                          DeltaIngestState* delta_state) {
+  if (options_.ingest_mode == IngestMode::kDelta &&
+      delta_state != nullptr) {
+    return IngestDelta(tuples, *delta_state);
+  }
   const uint32_t n = num_shards();
   // Split by owning shard, preserving arrival order within each shard.
   std::vector<std::vector<Tuple>> split(n);
   for (const Tuple& t : tuples) {
     split[ShardOf(t.key, n)].push_back(t);
   }
-  NetMetrics& metrics = NetMetrics::Get();
   uint64_t shed = 0;
   for (uint32_t i = 0; i < n; ++i) {
     if (split[i].empty()) continue;
-    Shard& shard = *shards_[i];
-    std::vector<Tuple> batch = std::move(split[i]);
-    bool enqueued = false;
-    {
-      std::unique_lock<std::mutex> lock(shard.queue_mu);
-      if (shard.queue.size() >= options_.max_queue_batches) {
-        metrics.enqueue_waits.Add(1);
-        shard.cv_push.wait_for(
-            lock, std::chrono::milliseconds(options_.max_enqueue_wait_ms),
-            [&] {
-              return shard.queue.size() < options_.max_queue_batches ||
-                     stop_.load(std::memory_order_acquire);
-            });
-      }
-      if (shard.queue.size() < options_.max_queue_batches &&
-          !stop_.load(std::memory_order_acquire)) {
-        shard.queue.push_back(std::move(batch));
-        shard.cv_pop.notify_one();
-        enqueued = true;
-      }
+    shed += Submit(*shards_[i], WorkItem(std::move(split[i])));
+  }
+  return shed;
+}
+
+DeltaIngestState ShardSet::MakeDeltaState() const {
+  DeltaIngestState state;
+  state.per_shard_.resize(num_shards());
+  return state;
+}
+
+template <typename SketchT>
+void ShardSet::AccumulateDelta(std::span<const Tuple> tuples,
+                               DeltaIngestState& state) {
+  const uint32_t n = num_shards();
+  // Resolve each shard's typed delta once; per tuple the loop below is
+  // one multiplicative hash plus one open-addressed probe (plus a tail
+  // update for the miss minority).
+  std::vector<DeltaBatch<SketchT>*> deltas(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    auto& slot = state.per_shard_[i];
+    if (!slot.has_value()) {
+      // Open a fresh delta epoch: head snapshot taken lock-free from
+      // the live filter, tail sketch built from the shard's config.
+      slot.emplace(
+          std::get<ASketch<RelaxedHeapFilter, SketchT>>(shards_[i]->sketch)
+              .MakeDeltaBatch());
     }
-    if (enqueued) continue;
-    // Bounded wait exhausted: degrade. Sticky gauge — an operator seeing
-    // asketch_net_degraded == 1 knows at least one queue overflowed
-    // since startup (the *_total counters say how much).
-    metrics.degraded.Set(1);
-    if (options_.overload == OverloadPolicy::kInlineApply) {
-      std::lock_guard<std::mutex> guard(shard.mu);
-      std::visit([&](auto& sketch) { sketch.UpdateBatch(batch); },
-                 shard.sketch);
-      // Release: a reader that observes this boundary via
-      // AppliedTuples() is guaranteed to also observe the batch it
-      // accounts for (the concurrency tests' oracle bracketing).
-      shard.applied_tuples.fetch_add(batch.size(),
-                                     std::memory_order_release);
-      inline_applied_.fetch_add(batch.size(), std::memory_order_relaxed);
-      metrics.inline_applied.Add(batch.size());
-    } else {
-      const uint64_t weight = BatchWeight(batch);
-      shed_weight_.fetch_add(weight, std::memory_order_relaxed);
-      metrics.shed_weight.Add(weight);
-      shed += weight;
+    deltas[i] = &std::get<DeltaBatch<SketchT>>(*slot);
+  }
+  for (const Tuple& t : tuples) {
+    deltas[ShardOf(t.key, n)]->Add(t.key, t.value);
+  }
+}
+
+uint64_t ShardSet::IngestDelta(std::span<const Tuple> tuples,
+                               DeltaIngestState& state) {
+  const uint32_t n = num_shards();
+  ASKETCH_CHECK(state.per_shard_.size() == n);
+  if (options_.backend == SketchBackend::kCountMin) {
+    AccumulateDelta<CountMin>(tuples, state);
+  } else {
+    AccumulateDelta<SalsaCountMin>(tuples, state);
+  }
+  uint64_t shed = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint64_t count = std::visit(
+        [](const auto& delta) { return delta.tuple_count(); },
+        *state.per_shard_[i]);
+    if (count >= options_.delta_flush_tuples) {
+      shed += FlushShardDelta(i, state);
     }
+  }
+  return shed;
+}
+
+uint64_t ShardSet::FlushShardDelta(uint32_t index,
+                                   DeltaIngestState& state) {
+  auto& slot = state.per_shard_[index];
+  if (!slot.has_value()) return 0;
+  const bool empty =
+      std::visit([](const auto& d) { return d.Empty(); }, *slot);
+  if (empty) {
+    slot.reset();
+    return 0;
+  }
+  NetMetrics::Get().delta_flushed_tuples.Add(
+      std::visit([](const auto& d) { return d.tuple_count(); }, *slot));
+  WorkItem item = std::visit(
+      [](auto&& delta) -> WorkItem { return WorkItem(std::move(delta)); },
+      std::move(*slot));
+  slot.reset();
+  return Submit(*shards_[index], std::move(item));
+}
+
+uint64_t ShardSet::FlushDeltas(DeltaIngestState& state) {
+  if (state.per_shard_.empty()) return 0;
+  ASKETCH_CHECK(state.per_shard_.size() == num_shards());
+  uint64_t shed = 0;
+  for (uint32_t i = 0; i < num_shards(); ++i) {
+    shed += FlushShardDelta(i, state);
   }
   return shed;
 }

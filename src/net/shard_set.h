@@ -13,10 +13,30 @@
 // the cycles), kShed drops it and accounts the weight. Both paths are
 // reported through NetMetrics and WireStats.
 //
+// Two ingest modes share those queues (docs/ARCHITECTURE.md):
+//
+//   kQueue — raw tuple sub-batches queue per shard; the owner worker
+//   replays them through ASketch::UpdateBatch, so the applied state is
+//   bit-identical to per-tuple serial ingest in arrival order.
+//
+//   kDelta — each decode thread accumulates its tuples into private
+//   per-shard DeltaBatches (exact head table + tail sketch, see
+//   src/core/delta_batch.h) held in a caller-owned DeltaIngestState.
+//   When a shard's delta reaches delta_flush_tuples the whole delta is
+//   queued as one work item and the owner folds it in with
+//   ASketch::ApplyDelta. The single-writer seqlock invariant holds by
+//   construction — decode threads never touch shard state — and the
+//   per-tuple hot path shrinks to a private table probe or tail-sketch
+//   update with no locks, condition variables, or seqlock sections.
+//
 // Queries read the *applied* state: tuples still queued are not yet
 // visible. SNAPSHOT and DIGEST therefore drain all queues first, making
 // them barriers — every tuple enqueued before the call is reflected in
-// the cut.
+// the cut. In delta mode a tuple enters the queue only when its delta
+// is flushed, so the barrier covers flushed deltas; callers that need a
+// tuple in the next cut must FlushDeltas their state first (the server
+// flushes a connection's deltas before STATS/SNAPSHOT/DIGEST and at
+// connection teardown).
 //
 // Reads are contention-free: Estimate/EstimateBatch/TopK never take
 // shard.mu. Point and top-k lookups run against the filter's
@@ -97,6 +117,32 @@ inline uint32_t ShardOf(item_t key, uint32_t num_shards) {
   return (key * 2654435761u) % num_shards;
 }
 
+/// How UPDATE traffic reaches a shard's owner thread (file comment).
+enum class IngestMode {
+  kQueue,  ///< raw tuple batches, replayed serially by the owner
+  kDelta,  ///< caller-built DeltaBatches, folded in via ApplyDelta
+};
+
+/// A decode thread's private delta accumulator, one slot per shard.
+/// Obtained from ShardSet::MakeDeltaState and passed back to Ingest /
+/// FlushDeltas by the same thread; never shared between threads without
+/// external synchronization (the whole point is that it needs none).
+class DeltaIngestState {
+ public:
+  DeltaIngestState() = default;
+
+  /// Tuples accumulated but not yet flushed to the shard queues.
+  uint64_t PendingTuples() const;
+
+ private:
+  friend class ShardSet;
+
+  using AnyDeltaBatch =
+      std::variant<DeltaBatch<CountMin>, DeltaBatch<SalsaCountMin>>;
+
+  std::vector<std::optional<AnyDeltaBatch>> per_shard_;
+};
+
 struct ShardSetOptions {
   uint32_t num_shards = 4;
   ASketchConfig shard_config;
@@ -106,6 +152,17 @@ struct ShardSetOptions {
   /// How long Ingest waits on a full queue before degrading.
   uint32_t max_enqueue_wait_ms = 100;
   OverloadPolicy overload = OverloadPolicy::kInlineApply;
+  /// Queue mode until delta-mode parity is proven in production
+  /// (`asketchd --ingest-mode`); both modes pass the same equivalence,
+  /// concurrency, and recovery suites.
+  IngestMode ingest_mode = IngestMode::kQueue;
+  /// Delta epoch length: a shard's delta is flushed to the owner once
+  /// it has absorbed this many tuples. Larger epochs amortize the dense
+  /// sketch merge over more tuples; smaller epochs shorten the window
+  /// in which a delta's tuples are invisible to queries (the server
+  /// flushes a connection's deltas before answering its STATS/SNAPSHOT/
+  /// DIGEST, so a connection always reads its own writes regardless).
+  uint32_t delta_flush_tuples = 32768;
 
   std::optional<std::string> Validate() const;
 };
@@ -125,7 +182,22 @@ class ShardSet {
   /// Splits `tuples` by shard and enqueues per-shard sub-batches. Blocks
   /// at most max_enqueue_wait_ms per full queue, then degrades per the
   /// overload policy. Returns the weight shed (0 under kInlineApply).
-  uint64_t Ingest(std::span<const Tuple> tuples);
+  ///
+  /// Under IngestMode::kDelta with a non-null `delta_state`, tuples are
+  /// instead absorbed into the caller's private per-shard deltas; only
+  /// shards whose delta crossed delta_flush_tuples touch the queues.
+  /// With a null `delta_state` the queue path is used regardless of
+  /// mode (warm-up / oracle traffic in tests relies on this).
+  uint64_t Ingest(std::span<const Tuple> tuples,
+                  DeltaIngestState* delta_state = nullptr);
+
+  /// A delta accumulator sized for this set; see DeltaIngestState.
+  DeltaIngestState MakeDeltaState() const;
+
+  /// Flushes every non-empty delta in `state` to its shard queue (same
+  /// bounded-wait + overload discipline as Ingest). Returns the weight
+  /// shed. After this returns, a Drain() barrier covers the tuples.
+  uint64_t FlushDeltas(DeltaIngestState& state);
 
   /// Blocks until every queued batch has been applied and all workers
   /// are idle. Concurrent Ingest calls may refill queues afterwards.
@@ -193,6 +265,12 @@ class ShardSet {
   void StallWorkersForTesting(bool stalled);
 
  private:
+  /// One unit of owner-thread work: a raw tuple sub-batch (queue mode)
+  /// or a whole decode-thread delta (delta mode). Flattened — not
+  /// variant-of-variant — so the worker dispatches once.
+  using WorkItem = std::variant<std::vector<Tuple>, DeltaBatch<CountMin>,
+                                DeltaBatch<SalsaCountMin>>;
+
   struct Shard {
     /// Serializes the *writers* of sketch + applied_tuples (worker
     /// batch application, inline-apply, restore). Readers go through
@@ -200,14 +278,14 @@ class ShardSet {
     mutable std::mutex mu;
     AnyServingSketch sketch;
     /// Tuples applied (worker + inline). Written under mu, bumped only
-    /// at sub-batch boundaries; read without mu by AppliedTuples.
+    /// at work-item boundaries; read without mu by AppliedTuples.
     std::atomic<uint64_t> applied_tuples{0};
 
     std::mutex queue_mu;
     std::condition_variable cv_push;  ///< signalled when space frees up
     std::condition_variable cv_pop;   ///< signalled when work arrives
     std::condition_variable cv_idle;  ///< signalled when fully drained
-    std::deque<std::vector<Tuple>> queue;
+    std::deque<WorkItem> queue;
     bool busy = false;  ///< worker currently applying a batch
     std::thread worker;
 
@@ -215,6 +293,23 @@ class ShardSet {
   };
 
   void WorkerLoop(Shard& shard);
+  /// Applies one work item under shard.mu (caller holds it) and bumps
+  /// applied_tuples at the boundary; returns the tuple count applied.
+  uint64_t ApplyLocked(Shard& shard, WorkItem& item);
+  /// Bounded-wait enqueue of `item`, degrading per the overload policy
+  /// when the wait expires. Returns the weight shed (0 unless kShed).
+  uint64_t Submit(Shard& shard, WorkItem item);
+  /// Delta-mode Ingest body: absorb into `state`, flush full epochs.
+  uint64_t IngestDelta(std::span<const Tuple> tuples,
+                       DeltaIngestState& state);
+  /// Backend-typed accumulation loop: the variant dispatch is hoisted
+  /// out of the per-tuple path (all shards share one backend), so each
+  /// tuple pays one ShardOf and one DeltaBatch::Add — no staging copy.
+  template <typename SketchT>
+  void AccumulateDelta(std::span<const Tuple> tuples,
+                       DeltaIngestState& state);
+  /// Flushes shard `index`'s delta from `state` if it is non-empty.
+  uint64_t FlushShardDelta(uint32_t index, DeltaIngestState& state);
   /// Serializes all shards; caller must hold every shard.mu.
   std::vector<uint8_t> SerializeLocked() const;
   /// Deserializes `payload` into the shards; caller must hold every

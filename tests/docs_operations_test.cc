@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -122,6 +123,83 @@ TEST(OperationsDoc, MetricTableMatchesLiveRegistry) {
     EXPECT_TRUE(live.count(name) != 0)
         << "docs/OPERATIONS.md documents `" << name
         << "` (" << type << ") but no such metric is registered";
+  }
+}
+
+std::string ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return "";
+  std::string text;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(f);
+  return text;
+}
+
+/// Flags asketchd's argv parser accepts, scraped from the
+/// `arg == "--name"` comparisons in tools/asketchd.cc.
+std::set<std::string> ParsedServerFlags() {
+  const std::string source =
+      ReadFile(std::string(ASKETCH_REPO_ROOT) + "/tools/asketchd.cc");
+  std::set<std::string> flags;
+  const std::string needle = "arg == \"--";
+  size_t pos = 0;
+  while ((pos = source.find(needle, pos)) != std::string::npos) {
+    const size_t begin = pos + needle.size() - 2;  // keep the leading --
+    const size_t end = source.find('"', begin);
+    if (end == std::string::npos) break;
+    flags.insert(source.substr(begin, end - begin));
+    pos = end;
+  }
+  return flags;
+}
+
+/// Flags documented in OPERATIONS.md's server flag table — the rows
+/// shaped `| \`--name ARG\` | default | meaning |` under "## Running"
+/// (OPERATIONS.md documents other tools' flags in later sections; those
+/// are out of scope here).
+std::set<std::string> DocumentedServerFlags(const std::string& doc) {
+  std::set<std::string> flags;
+  size_t pos = doc.find("## Running");
+  const size_t section_end =
+      pos == std::string::npos ? std::string::npos : doc.find("###", pos);
+  while (pos != std::string::npos &&
+         (pos = doc.find("| `--", pos)) != std::string::npos) {
+    if (pos >= section_end) break;
+    const size_t begin = pos + 3;  // past "| `"
+    size_t end = begin;
+    while (end < doc.size() && doc[end] != ' ' && doc[end] != '`') ++end;
+    flags.insert(doc.substr(begin, end - begin));
+    pos = end;
+  }
+  return flags;
+}
+
+// The flag-table companion of the metric pinning above, fail-closed in
+// both directions: every flag asketchd's parser accepts must have a row
+// in the server flag table, and every row must name a flag the parser
+// still accepts.
+TEST(OperationsDoc, FlagTableMatchesServerParser) {
+  const std::string doc = ReadOperationsDoc();
+  ASSERT_FALSE(doc.empty()) << "docs/OPERATIONS.md missing";
+  const std::set<std::string> parsed = ParsedServerFlags();
+  ASSERT_FALSE(parsed.empty())
+      << "could not scrape flags from tools/asketchd.cc";
+  const std::set<std::string> documented = DocumentedServerFlags(doc);
+  ASSERT_FALSE(documented.empty())
+      << "server flag table not found under '## Running'";
+  for (const std::string& flag : parsed) {
+    EXPECT_TRUE(documented.count(flag) != 0)
+        << "asketchd parses `" << flag
+        << "` but docs/OPERATIONS.md has no flag-table row for it";
+  }
+  for (const std::string& flag : documented) {
+    EXPECT_TRUE(parsed.count(flag) != 0)
+        << "docs/OPERATIONS.md documents `" << flag
+        << "` but asketchd no longer parses it";
   }
 }
 

@@ -4,7 +4,8 @@
 //            [--bytes B] [--width W]
 //            [--filter F] [--seed S] [--prefix PFX] [--retain R]
 //            [--recover] [--checkpoint-interval-ms MS]
-//            [--metrics-port MP] [--queue-batches Q]
+//            [--metrics-port MP] [--ingest-mode queue|delta]
+//            [--queue-batches Q] [--delta-flush-tuples T]
 //            [--overload inline|shed] [--max-connections C]
 //            [--idle-timeout-ms MS]
 //
@@ -47,17 +48,21 @@ volatile std::sig_atomic_t g_checkpoint = 0;
 void HandleStopSignal(int) { g_stop = 1; }
 void HandleCheckpointSignal(int) { g_checkpoint = 1; }
 
+// Flags are grouped by subsystem, in the same order as the flag table
+// in docs/OPERATIONS.md, so the two tell the same story.
 int Usage() {
   std::fprintf(
       stderr,
       "usage: asketchd [--port P] [--shards N]\n"
       "                [--sketch countmin|salsa] [--bytes B] [--width W]\n"
-      "                [--filter F] [--seed S] [--prefix PFX]\n"
-      "                [--retain R] [--recover]\n"
-      "                [--checkpoint-interval-ms MS] [--metrics-port MP]\n"
-      "                [--queue-batches Q] [--overload inline|shed]\n"
+      "                [--filter F] [--seed S]\n"
       "                [--max-connections C] [--idle-timeout-ms MS]\n"
+      "                [--ingest-mode queue|delta] [--queue-batches Q]\n"
+      "                [--delta-flush-tuples T] [--overload inline|shed]\n"
+      "                [--prefix PFX] [--retain R] [--recover]\n"
+      "                [--checkpoint-interval-ms MS] [--metrics-port MP]\n"
       "\n"
+      "serving:\n"
       "  --port P            TCP port on 127.0.0.1 (default 0 = "
       "ephemeral)\n"
       "  --shards N          keyspace shards, one worker each (default "
@@ -69,6 +74,21 @@ int Usage() {
       "  --width W           sketch rows per shard (default 8)\n"
       "  --filter F          filter slots per shard (default 32)\n"
       "  --seed S            hash seed (default 42)\n"
+      "  --max-connections C concurrent client limit (default 64)\n"
+      "  --idle-timeout-ms MS close connections silent this long\n"
+      "                      (default 0 = never; slow-loris defense)\n"
+      "\n"
+      "ingest:\n"
+      "  --ingest-mode MODE  queue (default; serial per-tuple replay)\n"
+      "                      or delta (per-connection delta sketches\n"
+      "                      merged at epoch boundaries)\n"
+      "  --queue-batches Q   bounded per-shard queue length (default "
+      "64)\n"
+      "  --delta-flush-tuples T  delta epoch length in tuples "
+      "(default 8192)\n"
+      "  --overload POLICY   inline (default) or shed\n"
+      "\n"
+      "persistence:\n"
       "  --prefix PFX        snapshot store prefix (default: persistence "
       "off)\n"
       "  --retain R          snapshot generations kept (default 3)\n"
@@ -76,14 +96,10 @@ int Usage() {
       "serving\n"
       "  --checkpoint-interval-ms MS  background checkpoint period "
       "(default 0 = off)\n"
+      "\n"
+      "telemetry:\n"
       "  --metrics-port MP   telemetry HTTP port (default: exporter "
-      "off)\n"
-      "  --queue-batches Q   bounded per-shard queue length (default "
-      "64)\n"
-      "  --overload POLICY   inline (default) or shed\n"
-      "  --max-connections C concurrent client limit (default 64)\n"
-      "  --idle-timeout-ms MS close connections silent this long\n"
-      "                      (default 0 = never; slow-loris defense)\n");
+      "off)\n");
   return 2;
 }
 
@@ -161,6 +177,19 @@ int main(int argc, char** argv) {
     } else if (arg == "--queue-batches") {
       if (!ParseU64(value(), &n) || n < 1) return Usage();
       options.shards.max_queue_batches = n;
+    } else if (arg == "--ingest-mode") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      if (std::strcmp(v, "queue") == 0) {
+        options.shards.ingest_mode = net::IngestMode::kQueue;
+      } else if (std::strcmp(v, "delta") == 0) {
+        options.shards.ingest_mode = net::IngestMode::kDelta;
+      } else {
+        return Usage();
+      }
+    } else if (arg == "--delta-flush-tuples") {
+      if (!ParseU64(value(), &n) || n < 1 || n > UINT32_MAX) return Usage();
+      options.shards.delta_flush_tuples = static_cast<uint32_t>(n);
     } else if (arg == "--overload") {
       const char* v = value();
       if (v == nullptr) return Usage();

@@ -8,8 +8,10 @@
 # after the snapshot must be gone: durability is exactly the snapshot,
 # no more and no less.
 #
-# The whole flow runs once per sketch backend (--sketch countmin, then
-# --sketch salsa): recovery must be backend-agnostic.
+# The whole flow runs once per (sketch backend × ingest mode) —
+# countmin/salsa × queue/delta: recovery must be agnostic to both the
+# backend and the ingest path, and delta mode's durability contract is
+# the same (the snapshot cut drains and flushes open deltas first).
 #
 # usage: asketchd_recovery_smoke.sh <build_dir>
 set -u
@@ -45,12 +47,13 @@ start_server() {
 
 run_smoke() {
   local backend=$1
-  local dir="$WORK/$backend"
+  local ingest_mode=$2
+  local dir="$WORK/$backend-$ingest_mode"
   mkdir -p "$dir"
   PREFIX="$dir/ckpt/serve"
   DAEMON_FLAGS=(--port 0 --shards 4 --bytes 32768 --prefix "$PREFIX"
-                --sketch "$backend")
-  echo "--- backend: $backend ---"
+                --sketch "$backend" --ingest-mode "$ingest_mode")
+  echo "--- backend: $backend, ingest-mode: $ingest_mode ---"
 
   start_server "$dir/server1.log"
   echo "server up on port $PORT (pid $SERVER_PID)"
@@ -95,7 +98,9 @@ run_smoke() {
   SERVER_PID=""
 }
 
-run_smoke countmin
-run_smoke salsa
+run_smoke countmin queue
+run_smoke countmin delta
+run_smoke salsa queue
+run_smoke salsa delta
 
-echo "PASS: recovered serving state is bit-identical to the snapshot (both backends)"
+echo "PASS: recovered serving state is bit-identical to the snapshot (both backends, both ingest modes)"

@@ -7,7 +7,12 @@
 #      exists in `asketch_cli` usage output;
 #   3. every `--flag` attributed to asketchd / asketch_loadgen in the
 #      docs (and every flag in docs/OPERATIONS.md) exists in the usage
-#      output of one of the shipped tools.
+#      output of one of the shipped tools;
+#   4. the reverse of 3: every `--flag` a shipped tool advertises in
+#      its usage output is mentioned somewhere in the user-facing docs
+#      (a flag added without documentation fails here);
+#   5. the core documentation set exists — a renamed or deleted page
+#      fails instead of silently orphaning its inbound references.
 # The deeper doc pins — PROTOCOL.md constants/opcodes and the
 # OPERATIONS.md metric table — are compiled tests (net_protocol_test,
 # docs_operations_test); this script covers what grep can.
@@ -89,6 +94,29 @@ if [ -e "$BUILD_DIR/.check_docs_flag_fail" ]; then
   rm -f "$BUILD_DIR/.check_docs_flag_fail"
   fail=1
 fi
+
+# ------------------------------------------- usage ⊆ docs (reverse)
+# Every flag a tool's usage output advertises must appear in at least
+# one user-facing doc. Usage lines shape flags as `--name` tokens;
+# single-letter and non-flag dashes don't match the pattern.
+ALL_DOC_TEXT=$(cat "${USER_DOCS[@]}" 2>/dev/null)
+for flag in $(printf '%s\n' "$ALL_USAGE" | grep -ohE '\-\-[a-z][a-z-]*' \
+                | sort -u); do
+  [ "$flag" = "--help" ] && continue   # the conventional meta-flag
+  if ! printf '%s\n' "$ALL_DOC_TEXT" | grep -qF -- "$flag"; then
+    echo "FAIL tool usage advertises flag '$flag' but no user-facing doc mentions it"
+    fail=1
+  fi
+done
+
+# -------------------------------------------------- core doc set
+for doc in README.md DESIGN.md EXPERIMENTS.md docs/ARCHITECTURE.md \
+           docs/ALGORITHMS.md docs/OPERATIONS.md docs/PROTOCOL.md; do
+  if [ ! -f "$REPO_ROOT/$doc" ]; then
+    echo "FAIL core document $doc is missing"
+    fail=1
+  fi
+done
 
 if [ "$fail" -ne 0 ]; then
   echo "check_docs.sh: FAILED"
