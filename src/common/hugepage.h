@@ -1,0 +1,52 @@
+// Best-effort transparent-huge-page backing for large sketch arrays.
+//
+// A paper-default Count-Min row is wide enough that successive row
+// probes of one key land in distinct 4 KiB pages; with depth 4-8 rows
+// a single update can take 4-8 dTLB misses. Advising the kernel to
+// back the counter array with 2 MiB pages collapses those to one TLB
+// entry per sketch in the common case.
+//
+// This is advice, not a requirement: madvise(MADV_HUGEPAGE) asks
+// khugepaged to collapse the range when THP is enabled ("madvise" or
+// "always" mode) and silently does nothing otherwise. Failure is
+// ignored by design — the sketch works identically either way, only
+// slower. Non-Linux builds compile to a no-op.
+
+#ifndef ASKETCH_COMMON_HUGEPAGE_H_
+#define ASKETCH_COMMON_HUGEPAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace asketch {
+
+/// Advises the kernel to use transparent huge pages for the 2 MiB-
+/// aligned interior of [ptr, ptr + bytes). No-op when the interior is
+/// empty (arrays under ~4 MiB may align down to nothing — callers
+/// should gate on size), on madvise failure, or off Linux.
+inline void MaybeAdviseHugePages(void* ptr, size_t bytes) {
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  constexpr uintptr_t kHugePage = 2ull << 20;
+  const uintptr_t begin = reinterpret_cast<uintptr_t>(ptr);
+  const uintptr_t aligned_begin = (begin + kHugePage - 1) & ~(kHugePage - 1);
+  const uintptr_t end = (begin + bytes) & ~(kHugePage - 1);
+  if (aligned_begin >= end) return;
+  (void)madvise(reinterpret_cast<void*>(aligned_begin), end - aligned_begin,
+                MADV_HUGEPAGE);
+#else
+  (void)ptr;
+  (void)bytes;
+#endif
+}
+
+/// Size threshold below which advising is pointless (the aligned
+/// interior of a smaller array can be empty).
+inline constexpr size_t kHugePageAdviseMinBytes = 2ull << 20;
+
+}  // namespace asketch
+
+#endif  // ASKETCH_COMMON_HUGEPAGE_H_

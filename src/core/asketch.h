@@ -44,7 +44,9 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/atomic_util.h"
 #include "src/common/check.h"
+#include "src/common/sampling.h"
 #include "src/core/delta_batch.h"
 #include "src/obs/core_metrics.h"
 #include "src/obs/trace.h"
@@ -79,6 +81,10 @@ struct ASketchStats {
   uint64_t exchange_writebacks = 0;
   /// Number of sketch insertions, including exchange writebacks.
   uint64_t sketch_updates = 0;
+  /// Tail updates elided by geometric sampling (ALGORITHMS.md §8); their
+  /// weight still counts in sketch_weight — the scaled survivors carry
+  /// it in expectation. Not serialized (the "ASK1" layout predates it).
+  uint64_t sampled_skips = 0;
 
   /// N2 / N, the fraction of stream weight the sketch had to process.
   double FilterSelectivity() const {
@@ -105,9 +111,37 @@ class ASketch {
         sketch_(std::move(sketch)),
         enable_exchanges_(enable_exchanges) {}
 
+  /// Publishes a tail sampling rate (permille of tail updates applied;
+  /// 1000 = sampling off). Callable from any thread — the value lands in
+  /// a relaxed-atomic target that the owner thread folds into its private
+  /// sampler at the next Update/UpdateBatch boundary (SyncTailSampler).
+  /// When active, each sketch insert in MissPositive is applied with
+  /// probability p = permille/1000 and scaled by 1/p (stochastically
+  /// rounded): tail estimates become unbiased but lose the one-sided
+  /// bound; filter hits and free-slot inserts stay bit-exact
+  /// (ALGORITHMS.md §8). At 1000 the path is bit-identical to unsampled.
+  void SetTailSamplePermille(uint32_t permille) {
+    RelaxedStore(tail_sample_permille_,
+                 std::clamp<uint32_t>(permille, 1, 1000));
+  }
+  void SetTailSampleRate(double rate) {
+    SetTailSamplePermille(static_cast<uint32_t>(rate * 1000.0 + 0.5));
+  }
+  uint32_t tail_sample_permille() const {
+    return RelaxedLoad(tail_sample_permille_);
+  }
+  /// Reseeds the owner-side sampler (owner thread only; call before
+  /// ingest starts for reproducible runs).
+  void SeedTailSampler(uint64_t seed) {
+    const uint32_t permille = tail_sampler_.permille();
+    tail_sampler_ = GeometricSampler(seed);
+    tail_sampler_.SetPermille(permille);
+  }
+
   /// Algorithm 1 (positive deltas) / Appendix A (negative deltas).
   void Update(item_t key, delta_t delta = 1) {
     if (delta == 0) return;
+    SyncTailSampler();
     if (delta > 0) {
       UpdatePositive(key, delta);
     } else {
@@ -145,6 +179,7 @@ class ASketch {
     ASKETCH_TRACE_SPAN("asketch_update_batch");
     ASKETCH_TELEMETRY_ONLY(
         const auto telemetry_start = std::chrono::steady_clock::now();)
+    SyncTailSampler();
     constexpr size_t kChunk = 16;
     static_assert(kChunk <= kMaxProbeBatch);
     // Backends exposing the prepared-update API (PrepareUpdateBatch +
@@ -345,6 +380,9 @@ class ASketch {
       }
       if (pending_.deletions != 0) {
         metrics.deletions.Add(pending_.deletions);
+      }
+      if (pending_.sampled_skips != 0) {
+        metrics.sampled_skips.Add(pending_.sampled_skips);
       }
       pending_ = PendingTelemetry{};
     })
@@ -662,6 +700,26 @@ class ASketch {
           pending_.filtered_weight += static_cast<uint64_t>(delta);)
       return true;
     }
+    // Sampled tail path (ALGORITHMS.md §8): elide this sketch insert
+    // with probability 1-p, or apply it scaled by 1/p. Either way the
+    // TRUE weight is booked into sketch_weight — the stream-split stats
+    // describe the stream, not the sampler. Skips cost one countdown
+    // decrement and never touch a sketch cell; no exchange can trigger
+    // on a skipped tuple. Exchange writebacks (WriteBackVictim) bypass
+    // this entirely — a victim's exact slack is never sampled away.
+    delta_t applied = delta;
+    if (tail_sampler_.active()) {
+      if (!tail_sampler_.ShouldApply()) {
+        stats_.sketch_weight += static_cast<wide_count_t>(delta);
+        ++stats_.sampled_skips;
+        ASKETCH_TELEMETRY_ONLY({
+          pending_.sketch_weight += static_cast<uint64_t>(delta);
+          ++pending_.sampled_skips;
+        })
+        return false;
+      }
+      applied = tail_sampler_.ScaleDelta(delta);
+    }
     // Lines 7-9: forward to the sketch and read back the new estimate.
     // Backends exposing the fused UpdateAndEstimate hash only once here;
     // others fall back to Update + Estimate.
@@ -670,14 +728,14 @@ class ASketch {
                     s.UpdateAndEstimateAt(prepared, delta, stride);
                   }) {
       if (prepared != nullptr) {
-        estimate = sketch_.UpdateAndEstimateAt(prepared, delta, stride);
+        estimate = sketch_.UpdateAndEstimateAt(prepared, applied, stride);
       } else {
-        estimate = UpdateAndEstimateUnprepared(key, delta);
+        estimate = UpdateAndEstimateUnprepared(key, applied);
       }
     } else {
       (void)prepared;
       (void)stride;
-      estimate = UpdateAndEstimateUnprepared(key, delta);
+      estimate = UpdateAndEstimateUnprepared(key, applied);
     }
     ++stats_.sketch_updates;
     stats_.sketch_weight += static_cast<wide_count_t>(delta);
@@ -843,13 +901,30 @@ class ASketch {
     uint64_t exchanges = 0;
     uint64_t exchange_writebacks = 0;
     uint64_t deletions = 0;
+    uint64_t sampled_skips = 0;
     uint64_t since_flush = 0;  ///< scalar Updates since the last flush
   };
+
+  /// Folds a cross-thread rate change (SetTailSamplePermille) into the
+  /// owner's private sampler. One relaxed load + compare; the branch is
+  /// never taken in steady state.
+  void SyncTailSampler() {
+    const uint32_t target = RelaxedLoad(tail_sample_permille_);
+    if (target != tail_sampler_.permille()) [[unlikely]] {
+      tail_sampler_.SetPermille(target);
+    }
+  }
 
   FilterT filter_;
   SketchT sketch_;
   bool enable_exchanges_ = true;
   ASketchStats stats_;
+  /// Owner-thread tail sampler (inactive by default) and its cross-
+  /// thread rate target, accessed via atomic_ref so the class stays
+  /// movable. Runtime ingest policy, not synopsis state: neither is
+  /// serialized or adopted.
+  GeometricSampler tail_sampler_;
+  uint32_t tail_sample_permille_ = 1000;
   ASKETCH_TELEMETRY_ONLY(PendingTelemetry pending_;)
 };
 

@@ -200,8 +200,8 @@ std::optional<std::string> Client::ReplayPending() {
     const uint64_t size = pending[i].tuples.size();
     replay_.push_back(PendingBatch{std::move(pending[i].tuples),
                                    conn_sent_tuples_ + size});
-    auto error =
-        Send(EncodeUpdateRequest(replay_.back().tuples, want_ack));
+    auto error = Send(EncodeUpdateRequest(replay_.back().tuples, want_ack,
+                                          /*replay=*/true));
     if (!error) {
       conn_sent_tuples_ += size;
       replayed_tuples_ += size;

@@ -142,7 +142,7 @@ std::vector<uint8_t> EncodeVersionMismatch(uint32_t server_min,
 // -- UPDATE -------------------------------------------------------------
 
 std::vector<uint8_t> EncodeUpdateRequest(std::span<const Tuple> tuples,
-                                         bool want_ack) {
+                                         bool want_ack, bool replay) {
   BinaryWriter writer;
   writer.Reserve(4 + tuples.size() * 8);
   writer.PutU32(static_cast<uint32_t>(tuples.size()));
@@ -150,9 +150,9 @@ std::vector<uint8_t> EncodeUpdateRequest(std::span<const Tuple> tuples,
     writer.PutU32(t.key);
     writer.PutU32(t.value);
   }
-  return FrameFromWriter(Opcode::kUpdate,
-                         want_ack ? kFlagWantAck : uint8_t{0},
-                         NetStatus::kOk, writer);
+  uint8_t flags = want_ack ? kFlagWantAck : uint8_t{0};
+  if (replay) flags |= kFlagReplay;
+  return FrameFromWriter(Opcode::kUpdate, flags, NetStatus::kOk, writer);
 }
 
 bool ParseUpdateRequest(std::span<const uint8_t> payload,

@@ -9,7 +9,8 @@
 //   offset  size  field
 //        0     4  length  — bytes that follow this field (4 .. 4 + 1 MiB)
 //        4     1  opcode
-//        5     1  flags   (bit 0: response, bit 1: want-ack)
+//        5     1  flags   (bit 0: response, bit 1: want-ack,
+//                          bit 2: replayed)
 //        6     2  status  (requests: 0; responses: a NetStatus code)
 //        8     …  payload (length - 4 bytes)
 //
@@ -72,6 +73,15 @@ enum class Opcode : uint8_t {
 /// Frame flag bits.
 inline constexpr uint8_t kFlagResponse = 0x01;
 inline constexpr uint8_t kFlagWantAck = 0x02;
+/// Set by a reconnecting client on UPDATE batches re-sent from its
+/// unacked replay buffer. The server applies flagged batches normally
+/// (replay is at-least-once by design — PROTOCOL.md "Ack-based replay")
+/// and counts them toward the connection's cumulative ack, but books
+/// their tuples into asketch_net_replayed_tuples_total instead of the
+/// first-transmission counter, so global ingest metrics are not
+/// inflated by retransmissions. Servers that predate the flag ignore
+/// unknown bits, so it is wire-compatible with protocol version 1.
+inline constexpr uint8_t kFlagReplay = 0x04;
 
 /// Status codes carried by response frames.
 enum class NetStatus : uint16_t {
@@ -98,6 +108,7 @@ struct Frame {
 
   bool is_response() const { return (flags & kFlagResponse) != 0; }
   bool want_ack() const { return (flags & kFlagWantAck) != 0; }
+  bool is_replay() const { return (flags & kFlagReplay) != 0; }
 };
 
 /// Highest protocol version inside both inclusive ranges, or nullopt if
@@ -200,8 +211,10 @@ bool ParseHelloResponse(std::span<const uint8_t> payload,
 std::vector<uint8_t> EncodeVersionMismatch(uint32_t server_min,
                                            uint32_t server_max);
 
+/// `replay` sets kFlagReplay (reconnect retransmissions only).
 std::vector<uint8_t> EncodeUpdateRequest(std::span<const Tuple> tuples,
-                                         bool want_ack);
+                                         bool want_ack,
+                                         bool replay = false);
 bool ParseUpdateRequest(std::span<const uint8_t> payload,
                         std::vector<Tuple>* out);
 std::vector<uint8_t> EncodeUpdateAck(const UpdateAck& ack);

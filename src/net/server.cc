@@ -173,11 +173,24 @@ void Server::HandleConnection(int fd) {
   // Whatever path closes the connection, its unflushed delta tuples
   // reach the shard queues — an UPDATE acknowledged on this connection
   // is never stranded in a dead accumulator. No-op in queue mode.
+  // Weight shed by this final flush (overloaded queues degrading to
+  // kShed) is booked into the connection's shed total and the
+  // exit-flush counter: the connection is closing, so no ack will
+  // carry the number to the client, but the server-side ledger must
+  // still balance (OPERATIONS.md, asketch_net_exit_flush_shed_total).
   struct FlushOnExit {
     ShardSet& shards;
     DeltaIngestState& state;
-    ~FlushOnExit() { shards.FlushDeltas(state); }
-  } flush_on_exit{shards_, delta_state};
+    uint64_t& shed;
+    ~FlushOnExit() {
+      const uint64_t dropped = shards.FlushDeltas(state);
+      if (dropped != 0) {
+        shed += dropped;
+        NetMetrics::Get().exit_flush_shed.Add(dropped);
+      }
+    }
+  } flush_on_exit{shards_, delta_state, shed};
+  std::vector<Tuple> update_scratch;
   std::vector<uint8_t> buffer(64 * 1024);
   auto last_activity = std::chrono::steady_clock::now();
 
@@ -187,7 +200,7 @@ void Server::HandleConnection(int fd) {
     decoder.Feed(buffer.data(), n);
     while (auto frame = decoder.Next()) {
       if (!HandleFrame(fd, *frame, hello_done, received, shed,
-                       delta_state)) {
+                       delta_state, update_scratch)) {
         return false;
       }
     }
@@ -255,7 +268,8 @@ void Server::HandleConnection(int fd) {
 
 bool Server::HandleFrame(int fd, const Frame& frame, bool& hello_done,
                          uint64_t& received, uint64_t& shed,
-                         DeltaIngestState& delta_state) {
+                         DeltaIngestState& delta_state,
+                         std::vector<Tuple>& update_scratch) {
   NetMetrics& metrics = NetMetrics::Get();
   metrics.frames_total.Add(1);
   const auto fail = [&](NetStatus status, std::string_view message) {
@@ -292,18 +306,28 @@ bool Server::HandleFrame(int fd, const Frame& frame, bool& hello_done,
       return fail(NetStatus::kBadRequest, "HELLO already negotiated");
 
     case Opcode::kUpdate: {
-      std::vector<Tuple> tuples;
-      if (!ParseUpdateRequest(frame.payload, &tuples)) {
+      // Decode into the connection's scratch vector: ParseUpdateRequest
+      // clears and refills it, so capacity persists across frames and
+      // steady-state ingest does no per-frame allocation.
+      if (!ParseUpdateRequest(frame.payload, &update_scratch)) {
         return fail(NetStatus::kBadFrame, "malformed UPDATE");
       }
-      received += tuples.size();
+      // `received` counts replayed tuples too: the client retires its
+      // replay buffer against this cumulative figure, so a replayed
+      // batch must advance it exactly like a first transmission. Only
+      // the global metric split distinguishes the two.
+      received += update_scratch.size();
       // In delta mode the tuples are absorbed into this connection's
       // private accumulator; the ack means "owned by the server", and
       // the flush points below (plus connection teardown) bound how
       // long they can stay invisible to queries.
-      shed += shards_.Ingest(tuples, &delta_state);
+      shed += shards_.Ingest(update_scratch, &delta_state);
       metrics.update_batches.Add(1);
-      metrics.update_tuples.Add(tuples.size());
+      if (frame.is_replay()) {
+        metrics.replayed_tuples.Add(update_scratch.size());
+      } else {
+        metrics.update_tuples.Add(update_scratch.size());
+      }
       if (frame.want_ack()) {
         return SendAll(options_.io, fd, EncodeUpdateAck(UpdateAck{received, shed}));
       }
@@ -402,7 +426,7 @@ void Server::Stop() {}
 void Server::AcceptLoop() {}
 void Server::HandleConnection(int) {}
 bool Server::HandleFrame(int, const Frame&, bool&, uint64_t&, uint64_t&,
-                         DeltaIngestState&) {
+                         DeltaIngestState&, std::vector<Tuple>&) {
   return false;
 }
 

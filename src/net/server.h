@@ -102,10 +102,14 @@ class Server {
   /// are per-connection; under --ingest-mode delta the connection
   /// thread is the decode thread that owns the delta accumulator, and
   /// STATS/SNAPSHOT/DIGEST flush it so those barriers cover every
-  /// tuple this connection has sent.
+  /// tuple this connection has sent. `update_scratch` is the
+  /// connection's reusable UPDATE decode buffer: batches are parsed
+  /// into it in place, so steady-state ingest does one allocation per
+  /// high-water batch size instead of one per frame.
   bool HandleFrame(int fd, const Frame& frame, bool& hello_done,
                    uint64_t& received, uint64_t& shed,
-                   DeltaIngestState& delta_state);
+                   DeltaIngestState& delta_state,
+                   std::vector<Tuple>& update_scratch);
   void CheckpointLoop();
 
   ServerOptions options_;

@@ -163,6 +163,19 @@ struct ShardSetOptions {
   /// flushes a connection's deltas before answering its STATS/SNAPSHOT/
   /// DIGEST, so a connection always reads its own writes regardless).
   uint32_t delta_flush_tuples = 32768;
+  /// Tail sampling rate (NitroSketch-style, ALGORITHMS.md §8): each
+  /// tail-sketch update is applied with this probability and scaled by
+  /// its inverse. Head keys (exact filter / delta head table) are never
+  /// sampled. 1.0 (the default) is bit-identical to unsampled ingest;
+  /// below 1.0 tail estimates are unbiased but no longer one-sided.
+  /// In (0, 1]. Queue mode samples in the shard owner's MissPositive;
+  /// delta mode samples in the decode threads' DeltaBatch tail path.
+  double sample_rate = 1.0;
+  /// "Always line rate": start unsampled and halve the effective rate
+  /// on queue pressure (bounded enqueue waits / sheds), down to
+  /// `sample_rate` as the floor; recover ×2 after a calm stretch. The
+  /// live value is exported as asketch_net_sample_rate_permille.
+  bool adaptive_sampling = false;
 
   std::optional<std::string> Validate() const;
 };
@@ -264,6 +277,12 @@ class ShardSet {
   /// fill deterministically and the overload paths can be exercised.
   void StallWorkersForTesting(bool stalled);
 
+  /// The effective tail sampling rate in permille (1000 = off). Equals
+  /// the configured rate unless adaptive_sampling is moving it.
+  uint32_t SamplePermille() const {
+    return sample_permille_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// One unit of owner-thread work: a raw tuple sub-batch (queue mode)
   /// or a whole decode-thread delta (delta mode). Flattened — not
@@ -310,6 +329,13 @@ class ShardSet {
                        DeltaIngestState& state);
   /// Flushes shard `index`'s delta from `state` if it is non-empty.
   uint64_t FlushShardDelta(uint32_t index, DeltaIngestState& state);
+  /// Publishes a new effective sampling rate: atomic target + gauge,
+  /// and (queue mode) the per-shard owner samplers' relaxed targets.
+  void PublishSamplePermille(uint32_t permille);
+  /// Adaptive-sampling feedback from one Submit: pressure (a bounded
+  /// wait or degradation) halves the rate toward the floor; a calm
+  /// stretch of kCalmSubmitsToRecover submits doubles it toward 1000.
+  void NoteSubmitOutcome(bool pressure);
   /// Serializes all shards; caller must hold every shard.mu.
   std::vector<uint8_t> SerializeLocked() const;
   /// Deserializes `payload` into the shards; caller must hold every
@@ -317,12 +343,23 @@ class ShardSet {
   std::optional<std::string> RestoreLocked(
       std::span<const uint8_t> payload);
 
+  /// Consecutive pressure-free Submits before adaptive sampling doubles
+  /// the rate back toward 1.0 — long enough that a transient lull does
+  /// not immediately re-saturate the queues.
+  static constexpr uint32_t kCalmSubmitsToRecover = 128;
+
   ShardSetOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> stop_{false};
   std::atomic<bool> stalled_{false};
   std::atomic<uint64_t> shed_weight_{0};
   std::atomic<uint64_t> inline_applied_{0};
+  /// Effective tail sampling rate in permille; configured floor; calm-
+  /// submit streak (adaptive mode); per-epoch sampler seed sequence.
+  std::atomic<uint32_t> sample_permille_{1000};
+  uint32_t floor_permille_ = 1000;
+  std::atomic<uint32_t> calm_submits_{0};
+  std::atomic<uint64_t> sampler_seq_{1};
   std::vector<uint64_t> gauge_ids_;
 };
 

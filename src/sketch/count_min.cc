@@ -3,6 +3,12 @@
 #include <algorithm>
 #include <limits>
 
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+#include "src/common/hugepage.h"
+
 // All cell stores below go through RelaxedStore (atomic_util.h): the
 // serving layer reads cells concurrently with the shard worker's updates
 // via EstimateRelaxed, and a plain store racing an atomic load is a data
@@ -44,6 +50,16 @@ CountMin::CountMin(const CountMinConfig& config) : config_(config) {
   ASKETCH_CHECK(!config.Validate().has_value());
   hashes_ = HashFamily(config_.width, config_.depth, config_.seed);
   cells_.assign(static_cast<size_t>(config_.width) * config_.depth, 0);
+  AdviseHugePagesIfLarge();
+}
+
+void CountMin::AdviseHugePagesIfLarge() {
+  // Each update touches one cell per row at a random offset; 2 MiB
+  // backing keeps out-of-cache sketches to ~one TLB entry per row range
+  // instead of one miss per probe. Best-effort, behavior-neutral.
+  if (MemoryUsageBytes() >= kHugePageAdviseMinBytes) {
+    MaybeAdviseHugePages(cells_.data(), cells_.size() * sizeof(count_t));
+  }
 }
 
 void CountMin::Update(item_t key, delta_t delta) {
@@ -138,21 +154,101 @@ void CountMin::UpdateBatch(std::span<const Tuple> tuples) {
   // updates against warm lines. Each tuple is hashed exactly once; the
   // chunk bound keeps the prefetches close enough that the lines are
   // still resident when their update executes.
+  //
+  // Plain policy on AVX2 builds: the apply phase runs row-major through
+  // ApplyPreparedAvx2 — gather 8 cells, add 8 deltas, saturate, store.
+  // Bit-identical to the scalar tuple-major walk (see the UpdateBatch
+  // doc comment in count_min.h for the order-independence argument).
   constexpr size_t kChunk = 16;
   const size_t n = tuples.size();
   const uint32_t w = config_.width;
   std::vector<uint32_t> buckets(kChunk * w);
   item_t keys[kChunk];
+#if defined(__AVX2__)
+  const bool vectorize = config_.policy == CmUpdatePolicy::kPlain;
+  alignas(32) uint32_t values[kChunk];
+#endif
   for (size_t begin = 0; begin < n; begin += kChunk) {
     const size_t count = std::min(kChunk, n - begin);
     for (size_t i = 0; i < count; ++i) keys[i] = tuples[begin + i].key;
     PrepareUpdateBatch(keys, count, buckets.data());
+#if defined(__AVX2__)
+    if (vectorize) {
+      for (size_t i = 0; i < count; ++i) {
+        values[i] = tuples[begin + i].value;
+      }
+      ApplyPreparedAvx2(buckets.data(), values, count);
+      continue;
+    }
+#endif
     for (size_t i = 0; i < count; ++i) {
       UpdateAt(&buckets[i], static_cast<delta_t>(tuples[begin + i].value),
                count);
     }
   }
 }
+
+#if defined(__AVX2__)
+void CountMin::ApplyPreparedAvx2(const uint32_t* buckets,
+                                 const uint32_t* values, size_t count) {
+  // Row-major prepared layout: row r's bucket indices for the chunk are
+  // contiguous at buckets[r*count .. r*count+count). Per 8-lane group:
+  // gather the cells, add the deltas, emulate unsigned saturation
+  // (overflowed lanes — where max_epu32(sum, cell) != sum — become
+  // all-ones), store lanewise. AVX2 has no scatter, and a gather+store
+  // group would lose increments if two lanes hit the same cell, so any
+  // intra-group index collision (detected by OR-ing lane-equality over
+  // the 7 nontrivial rotations) drops that group to the scalar loop.
+  const __m256i rotate1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+  const __m256i ones = _mm256_set1_epi32(-1);
+  for (uint32_t row = 0; row < config_.width; ++row) {
+    count_t* base = &cells_[static_cast<size_t>(row) * config_.depth];
+    const uint32_t* idx = buckets + static_cast<size_t>(row) * count;
+    size_t k = 0;
+    for (; k + 8 <= count; k += 8) {
+      const __m256i lanes =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + k));
+      __m256i conflict = _mm256_setzero_si256();
+      __m256i rot = lanes;
+      for (int r = 0; r < 7; ++r) {
+        rot = _mm256_permutevar8x32_epi32(rot, rotate1);
+        conflict =
+            _mm256_or_si256(conflict, _mm256_cmpeq_epi32(lanes, rot));
+      }
+      if (_mm256_movemask_epi8(conflict) != 0) [[unlikely]] {
+        for (size_t j = k; j < k + 8; ++j) {
+          count_t& cell = base[idx[j]];
+          RelaxedStore(cell, SaturatingAdd(
+                                 cell, static_cast<delta_t>(values[j])));
+        }
+        continue;
+      }
+      // Gathers are plain reads of our own cells — the updater is the
+      // single writer, concurrent readers never store (count_min.cc top
+      // comment), so only the stores need to be atomic.
+      const __m256i cells = _mm256_i32gather_epi32(
+          reinterpret_cast<const int*>(base), lanes, 4);
+      const __m256i vals =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(values + k));
+      const __m256i sum = _mm256_add_epi32(cells, vals);
+      const __m256i no_overflow =
+          _mm256_cmpeq_epi32(_mm256_max_epu32(sum, cells), sum);
+      const __m256i result =
+          _mm256_or_si256(sum, _mm256_andnot_si256(no_overflow, ones));
+      alignas(32) uint32_t out[8];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(out), result);
+      for (size_t j = 0; j < 8; ++j) {
+        RelaxedStore(base[idx[k + j]], out[j]);
+      }
+    }
+    for (; k < count; ++k) {
+      count_t& cell = base[idx[k]];
+      RelaxedStore(cell,
+                   SaturatingAdd(cell, static_cast<delta_t>(values[k])));
+    }
+  }
+}
+#endif  // defined(__AVX2__)
 
 count_t CountMin::Estimate(item_t key) const {
   count_t est = std::numeric_limits<count_t>::max();
@@ -243,6 +339,8 @@ std::optional<CountMin> CountMin::DeserializeFrom(BinaryReader& reader) {
   }
   CountMin sketch(config);
   sketch.cells_ = std::move(cells);
+  // The moved-in buffer replaced the ctor's advised allocation.
+  sketch.AdviseHugePagesIfLarge();
   return sketch;
 }
 

@@ -160,8 +160,16 @@ class CountMin {
   count_t UpdateAndEstimateAt(const uint32_t* buckets, delta_t delta,
                               size_t stride = 1);
 
-  /// Applies the tuples in order (bit-identical to the equivalent
-  /// sequence of Update calls), prefetching a few tuples ahead.
+  /// Applies the tuples (bit-identical to the equivalent sequence of
+  /// Update calls), prefetching a few tuples ahead. Under the plain
+  /// policy the counter writes are vectorized with AVX2 gathers on
+  /// builds that have them: row-major prepared buckets make each row's
+  /// chunk indices contiguous, and per-cell saturating addition of
+  /// unsigned deltas is order-independent (final cell = min(2^32-1,
+  /// initial + Σdeltas)), so the row-major application order — with a
+  /// scalar fallback for any 8-lane group whose indices collide — stays
+  /// bit-identical to the scalar tuple-major walk. The conservative
+  /// policy is order-dependent and always takes the scalar path.
   void UpdateBatch(std::span<const Tuple> tuples);
 
   /// Clears all cells; hash functions are kept.
@@ -232,6 +240,16 @@ class CountMin {
   std::string Name() const { return "CountMin"; }
 
  private:
+  /// AVX2 apply loop for UpdateBatch's plain-policy path: per row,
+  /// gathers 8 cells, adds 8 deltas with saturation, stores lanewise.
+  /// Only defined (and called) on __AVX2__ builds.
+  void ApplyPreparedAvx2(const uint32_t* buckets, const uint32_t* values,
+                         size_t count);
+
+  /// madvise(MADV_HUGEPAGE) on the cell array when it is large enough
+  /// to profit (ctor + deserialize; see src/common/hugepage.h).
+  void AdviseHugePagesIfLarge();
+
   count_t& Cell(uint32_t row, uint32_t bucket) {
     return cells_[static_cast<size_t>(row) * config_.depth + bucket];
   }

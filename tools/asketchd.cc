@@ -6,7 +6,8 @@
 //            [--recover] [--checkpoint-interval-ms MS]
 //            [--metrics-port MP] [--ingest-mode queue|delta]
 //            [--queue-batches Q] [--delta-flush-tuples T]
-//            [--overload inline|shed] [--max-connections C]
+//            [--overload inline|shed] [--sample-rate R]
+//            [--adaptive-sampling] [--max-connections C]
 //            [--idle-timeout-ms MS]
 //
 // Binds 127.0.0.1:P (0 = ephemeral) and announces the bound port on
@@ -59,6 +60,7 @@ int Usage() {
       "                [--max-connections C] [--idle-timeout-ms MS]\n"
       "                [--ingest-mode queue|delta] [--queue-batches Q]\n"
       "                [--delta-flush-tuples T] [--overload inline|shed]\n"
+      "                [--sample-rate R] [--adaptive-sampling]\n"
       "                [--prefix PFX] [--retain R] [--recover]\n"
       "                [--checkpoint-interval-ms MS] [--metrics-port MP]\n"
       "\n"
@@ -87,6 +89,12 @@ int Usage() {
       "  --delta-flush-tuples T  delta epoch length in tuples "
       "(default 8192)\n"
       "  --overload POLICY   inline (default) or shed\n"
+      "  --sample-rate R     tail-update sampling rate in (0, 1]\n"
+      "                      (default 1.0 = every update; below 1.0 the\n"
+      "                      sketch tail becomes unbiased, not one-sided;\n"
+      "                      the filter head stays exact)\n"
+      "  --adaptive-sampling start at rate 1.0 and back off toward\n"
+      "                      --sample-rate only under queue pressure\n"
       "\n"
       "persistence:\n"
       "  --prefix PFX        snapshot store prefix (default: persistence "
@@ -190,6 +198,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--delta-flush-tuples") {
       if (!ParseU64(value(), &n) || n < 1 || n > UINT32_MAX) return Usage();
       options.shards.delta_flush_tuples = static_cast<uint32_t>(n);
+    } else if (arg == "--sample-rate") {
+      const char* v = value();
+      if (v == nullptr || *v == '\0') return Usage();
+      errno = 0;
+      char* end = nullptr;
+      const double rate = std::strtod(v, &end);
+      if (errno != 0 || end == nullptr || *end != '\0') return Usage();
+      options.shards.sample_rate = rate;  // range-checked by Validate()
+    } else if (arg == "--adaptive-sampling") {
+      options.shards.adaptive_sampling = true;
     } else if (arg == "--overload") {
       const char* v = value();
       if (v == nullptr) return Usage();
